@@ -1,0 +1,137 @@
+// Command lbos runs the experiments that regenerate the tables and
+// figures of "Load Balancing on Speed" (PPoPP 2010) on the simulated
+// machines.
+//
+// Usage:
+//
+//	lbos list                              # show available experiments
+//	lbos run [flags] <id>... | all         # run experiments
+//
+// Flags for run:
+//
+//	-reps N    repetitions per configuration (default 10, the paper's count)
+//	-scale K   divide workload sizes by K for quicker runs (default 1)
+//	-seed S    base RNG seed
+//	-csv DIR   also write each table as CSV under DIR
+//	-q         suppress progress logging
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		list()
+	case "run":
+		run(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: lbos list | lbos run [-reps N] [-scale K] [-seed S] [-csv DIR] [-q] <id>...|all")
+}
+
+func list() {
+	for _, e := range exp.All() {
+		fmt.Printf("%-10s %-12s %s\n", e.ID, e.PaperRef, e.Title)
+	}
+}
+
+func run(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	reps := fs.Int("reps", 10, "repetitions per configuration")
+	scale := fs.Int("scale", 1, "divide workload sizes by this factor")
+	seed := fs.Uint64("seed", 20100109, "base RNG seed")
+	csvDir := fs.String("csv", "", "write tables as CSV under this directory")
+	quiet := fs.Bool("q", false, "suppress progress logging")
+	fs.Parse(args)
+
+	ids := fs.Args()
+	if len(ids) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	var exps []*exp.Experiment
+	if len(ids) == 1 && ids[0] == "all" {
+		exps = exp.All()
+	} else {
+		for _, id := range ids {
+			e, err := exp.ByID(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	ctx := &exp.Context{Reps: *reps, Scale: *scale, Seed: *seed}
+	if !*quiet {
+		ctx.Log = os.Stderr
+	}
+	for _, e := range exps {
+		start := time.Now()
+		fmt.Printf("### %s — %s (%s)\n", e.ID, e.Title, e.PaperRef)
+		fmt.Printf("paper: %s\n\n", e.Expect)
+		tables := e.Run(ctx)
+		for ti, t := range tables {
+			t.Render(os.Stdout)
+			fmt.Println()
+			if *csvDir != "" {
+				writeCSV(*csvDir, e.ID, ti, t)
+			}
+		}
+		fmt.Printf("(%s completed in %v wall time)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func writeCSV(dir, id string, idx int, t *exp.Table) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	name := fmt.Sprintf("%s_%d_%s.csv", id, idx, slug(t.Title))
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	var w io.Writer = f
+	t.CSV(w)
+}
+
+func slug(s string) string {
+	s = strings.ToLower(s)
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-' || r == '_':
+			b.WriteByte('_')
+		}
+	}
+	out := b.String()
+	if len(out) > 40 {
+		out = out[:40]
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+// Command speedbalance mirrors the paper's stand-alone speedbalancer
+// program (§5.2) against the simulated machine: it "forks" an SPMD
+// application, pins its threads round-robin over the requested cores,
+// and balances their speeds, printing a per-thread report.
+//
+// Usage:
+//
+//	speedbalance [flags]
+//
+//	-machine tigerton|barcelona|nehalem|smpN   (default tigerton)
+//	-threads N        application threads (default 16)
+//	-cores N          restrict to the first N cores (default all)
+//	-work MS          per-thread work between barriers, ms (default 100)
+//	-iters N          barrier iterations (default 50)
+//	-model upc|upc-sleep|mpi|openmp|openmp-inf  (default upc)
+//	-interval MS      balance interval (default 100)
+//	-threshold F      T_s speed threshold (default 0.9)
+//	-hog CORE         pin a cpu-hog competitor to CORE (-1: none)
+//	-makej N          run a make -j N competitor (0: none)
+//	-baseline         also run LOAD and PINNED for comparison
+//	-timeline         print an ASCII core-occupancy chart
+//	-seed N           RNG seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	lbos "repro"
+	"repro/internal/speedbal"
+	"repro/internal/timeline"
+)
+
+func main() {
+	machine := flag.String("machine", "tigerton", "machine model")
+	threads := flag.Int("threads", 16, "application threads")
+	cores := flag.Int("cores", 0, "restrict to first N cores (0: all)")
+	workMS := flag.Float64("work", 100, "per-thread work between barriers (ms)")
+	iters := flag.Int("iters", 50, "barrier iterations")
+	model := flag.String("model", "upc", "programming model")
+	intervalMS := flag.Int("interval", 100, "balance interval (ms)")
+	threshold := flag.Float64("threshold", 0.9, "T_s speed threshold")
+	hog := flag.Int("hog", -1, "pin a cpu-hog to this core")
+	makej := flag.Int("makej", 0, "make -j width competitor")
+	baseline := flag.Bool("baseline", false, "also run LOAD and PINNED")
+	showTimeline := flag.Bool("timeline", false, "print an ASCII core-occupancy chart")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	tp, err := machineByName(*machine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	mdl, err := modelByName(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	aff := tp().AllCores()
+	if *cores > 0 {
+		aff = lbos.Cores(*cores)
+	}
+	spec := lbos.AppSpec{
+		Name:             "app",
+		Threads:          *threads,
+		Iterations:       *iters,
+		WorkPerIteration: *workMS * lbos.Millisecond,
+		Model:            mdl,
+		Affinity:         aff,
+	}
+	cfg := lbos.SpeedConfig{
+		Interval:  time.Duration(*intervalMS) * time.Millisecond,
+		Threshold: *threshold,
+	}
+
+	setup := func(sys *lbos.System) {
+		if *hog >= 0 {
+			sys.AddCPUHog(*hog)
+		}
+		if *makej > 0 {
+			sys.AddMakeJ(*makej)
+		}
+	}
+
+	// SPEED run with the per-thread report.
+	sys := lbos.NewSystem(tp(), lbos.WithSeed(*seed))
+	setup(sys)
+	var rec *timeline.Recorder
+	if *showTimeline {
+		rec = &timeline.Recorder{}
+		sys.Machine().AddActor(rec)
+	}
+	app := sys.BuildApp(spec)
+	bal := speedbal.New(cfg)
+	bal.Launch(sys.Machine(), app)
+	sys.RunUntil(app)
+
+	fmt.Printf("speedbalance: %d threads on %s (%d cores allowed), %s barriers\n",
+		*threads, *machine, aff.Count(), mdl.Name)
+	fmt.Printf("  elapsed %v   speedup %.2f   migrations %d\n\n",
+		app.Elapsed().Round(time.Millisecond), app.Speedup(), bal.Migrations)
+	fmt.Printf("  %-8s %12s %12s %6s %6s\n", "thread", "exec", "speed", "migs", "core")
+	for _, t := range app.Tasks {
+		speed := float64(t.ExecTime) / float64(app.Elapsed())
+		fmt.Printf("  %-8s %12v %12.3f %6d %6d\n",
+			t.Name, t.ExecTime.Round(time.Millisecond), speed, t.Migrations, t.CoreID)
+	}
+
+	if rec != nil {
+		fmt.Println()
+		rec.Gantt(os.Stdout, 100)
+		fmt.Print("utilisation:")
+		for c, u := range rec.Utilisation() {
+			if c%8 == 0 {
+				fmt.Print("\n  ")
+			}
+			fmt.Printf("core%-2d %3.0f%%  ", c, u*100)
+		}
+		fmt.Println()
+	}
+
+	if *baseline {
+		fmt.Println()
+		for _, b := range []string{"LOAD", "PINNED"} {
+			sys := lbos.NewSystem(tp(), lbos.WithSeed(*seed))
+			setup(sys)
+			var a *lbos.App
+			if b == "LOAD" {
+				a = sys.StartApp(spec)
+			} else {
+				a = sys.StartPinned(spec)
+			}
+			sys.RunUntil(a)
+			fmt.Printf("  %-7s elapsed %v   speedup %.2f\n",
+				b+":", a.Elapsed().Round(time.Millisecond), a.Speedup())
+		}
+	}
+}
+
+func machineByName(name string) (func() *lbos.Topology, error) {
+	switch name {
+	case "tigerton":
+		return lbos.Tigerton, nil
+	case "barcelona":
+		return lbos.Barcelona, nil
+	case "nehalem":
+		return lbos.Nehalem, nil
+	}
+	if n, ok := strings.CutPrefix(name, "smp"); ok {
+		if k, err := strconv.Atoi(n); err == nil && k > 0 && k <= 64 {
+			return func() *lbos.Topology { return lbos.SMP(k) }, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown machine %q (tigerton|barcelona|nehalem|smpN)", name)
+}
+
+func modelByName(name string) (lbos.Model, error) {
+	switch name {
+	case "upc":
+		return lbos.UPC(), nil
+	case "upc-sleep":
+		return lbos.UPCSleep(), nil
+	case "mpi":
+		return lbos.MPI(), nil
+	case "openmp":
+		return lbos.OpenMPDefault(), nil
+	case "openmp-inf":
+		return lbos.OpenMPInfinite(), nil
+	}
+	return lbos.Model{}, fmt.Errorf("unknown model %q", name)
+}

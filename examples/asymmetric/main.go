@@ -1,0 +1,65 @@
+// Asymmetric: condition 2 from the paper's introduction — cores running
+// at different clock speeds (e.g. Turbo Boost over-clocking a subset of
+// cores until the temperature rises).
+//
+// Twelve threads run on 8 cores, four of them 1.5x faster. The balancer's
+// speed metric (exec/real, weighted by the core's relative clock per
+// §4's heterogeneous extension) sees threads on doubled-up slow cores
+// as the stragglers and rotates every thread through the fast cores.
+// Queue-length balancing only equalises counts — blind to which cores
+// are fast — so whichever threads land doubled on slow cores set the
+// finish time.
+//
+// Note the limitation inherited from the paper's pull-only design: with
+// exactly one thread per core, equalising asymmetric speeds would
+// require swaps, which a pull-only balancer cannot express; the win
+// appears under oversubscription, as here.
+//
+//	go run ./examples/asymmetric
+package main
+
+import (
+	"fmt"
+	"time"
+
+	lbos "repro"
+)
+
+func main() {
+	speeds := []float64{1.5, 1.5, 1.5, 1.5, 1.0, 1.0, 1.0, 1.0}
+	topoF := func() *lbos.Topology { return lbos.Asymmetric(speeds) }
+
+	const threads = 12
+	spec := lbos.AppSpec{
+		Name:             "app",
+		Threads:          threads,
+		Iterations:       1,
+		WorkPerIteration: 3000 * lbos.Millisecond,
+		Model:            lbos.UPC(),
+	}
+
+	// Total capacity 4×1.5 + 4×1.0 = 10 speed-units for 12 threads of
+	// 3 s each: the perfectly balanced finish is 12·3/10 = 3.6 s.
+	ideal := 3600 * time.Millisecond
+
+	pinSys := lbos.NewSystem(topoF(), lbos.WithSeed(5))
+	pinApp := pinSys.StartPinned(spec)
+	pinSys.RunUntil(pinApp)
+
+	loadSys := lbos.NewSystem(topoF(), lbos.WithSeed(5))
+	loadApp := loadSys.StartApp(spec)
+	loadSys.RunUntil(loadApp)
+
+	speedSys := lbos.NewSystem(topoF(), lbos.WithSeed(5))
+	speedApp := speedSys.BuildApp(spec)
+	bal := speedSys.SpeedBalance(speedApp, lbos.SpeedConfig{})
+	speedSys.RunUntil(speedApp)
+
+	fmt.Printf("%d threads, 8 cores (4 at 1.5x, 4 at 1.0x), 3s work each; ideal %v\n\n", threads, ideal)
+	fmt.Printf("  PINNED : %8v  (doubled-up cores set the pace)\n",
+		pinApp.Elapsed().Round(time.Millisecond))
+	fmt.Printf("  LOAD   : %8v  (equal queue lengths, blind to clock speeds)\n",
+		loadApp.Elapsed().Round(time.Millisecond))
+	fmt.Printf("  SPEED  : %8v  (%d migrations rotate threads through the 1.5x cores)\n",
+		speedApp.Elapsed().Round(time.Millisecond), bal.Migrations)
+}

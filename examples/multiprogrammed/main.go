@@ -1,0 +1,62 @@
+// Multiprogrammed: the Figure 5 scenario — a 16-thread EP-style
+// application sharing the machine with an unrelated cpu-hog pinned to
+// core 0, plus a make -j build churning in the background.
+//
+// Static pinning runs at the slowest thread's speed (the one sharing
+// core 0 with the hog); Linux load balancing cannot fix the 2-vs-1
+// queue split; speed balancing detects the slow core through its
+// threads' exec/real ratios and rotates threads away from it.
+//
+//	go run ./examples/multiprogrammed
+package main
+
+import (
+	"fmt"
+	"time"
+
+	lbos "repro"
+)
+
+func main() {
+	spec := lbos.AppSpec{
+		Name:             "ep",
+		Threads:          16,
+		Iterations:       1,
+		WorkPerIteration: 2000 * lbos.Millisecond,
+		Model:            lbos.UPC(),
+	}
+
+	type setup struct {
+		name  string
+		build func(sys *lbos.System) *lbos.App
+	}
+	setups := []setup{
+		{"PINNED", func(sys *lbos.System) *lbos.App { return sys.StartPinned(spec) }},
+		{"LOAD", func(sys *lbos.System) *lbos.App { return sys.StartApp(spec) }},
+		{"SPEED", func(sys *lbos.System) *lbos.App {
+			app := sys.BuildApp(spec)
+			sys.SpeedBalance(app, lbos.SpeedConfig{})
+			return app
+		}},
+	}
+
+	fmt.Println("16-thread EP on 16 Tigerton cores, sharing with a cpu-hog on core 0")
+	fmt.Println("and `make -j4` (17+ tasks: no static balance exists)")
+	fmt.Println()
+	fmt.Printf("%-8s %10s  %8s  %s\n", "config", "elapsed", "speedup", "app migrations")
+	for _, s := range setups {
+		sys := lbos.NewSystem(lbos.Tigerton(), lbos.WithSeed(3))
+		sys.AddCPUHog(0)
+		sys.AddMakeJ(4)
+		app := s.build(sys)
+		sys.RunUntil(app)
+		migs := 0
+		for _, t := range app.Tasks {
+			migs += t.Migrations
+		}
+		fmt.Printf("%-8s %10v  %8.2f  %d\n",
+			s.name, app.Elapsed().Round(time.Millisecond), app.Speedup(), migs)
+	}
+	fmt.Println()
+	fmt.Println("ideal speedup with the hog taking half of core 0 is ~15.5")
+}

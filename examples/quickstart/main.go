@@ -1,0 +1,53 @@
+// Quickstart: run one SPMD application under speed balancing on the
+// simulated Tigerton machine and print per-thread statistics.
+//
+// The scenario is the paper's central one: an oversubscribed SPMD
+// application (12 threads on 8 cores) whose threads must make equal
+// progress. Under queue-length balancing the 2-thread cores set the
+// pace; speed balancing rotates threads through the fast cores.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	lbos "repro"
+)
+
+func main() {
+	const threads, cores = 12, 8
+
+	spec := lbos.AppSpec{
+		Name:             "solver",
+		Threads:          threads,
+		Iterations:       1,
+		WorkPerIteration: 3000 * lbos.Millisecond, // 3 s of work per thread
+		Model:            lbos.UPC(),              // yield-waiting barriers
+		Affinity:         lbos.Cores(cores),
+	}
+
+	// Baseline: default Linux load balancing.
+	loadSys := lbos.NewSystem(lbos.Tigerton(), lbos.WithSeed(1))
+	loadApp := loadSys.StartApp(spec)
+	loadSys.RunUntil(loadApp)
+
+	// Speed balancing: same app, managed by the user-level balancer.
+	speedSys := lbos.NewSystem(lbos.Tigerton(), lbos.WithSeed(1))
+	speedApp := speedSys.BuildApp(spec)
+	bal := speedSys.SpeedBalance(speedApp, lbos.SpeedConfig{})
+	speedSys.RunUntil(speedApp)
+
+	ideal := time.Duration(float64(threads) * 3000 * lbos.Millisecond / float64(cores))
+	fmt.Printf("%d threads on %d cores, 3s of work each (ideal %v):\n\n", threads, cores, ideal)
+	fmt.Printf("  LOAD  : %8v   speedup %.2f\n", loadApp.Elapsed().Round(time.Millisecond), loadApp.Speedup())
+	fmt.Printf("  SPEED : %8v   speedup %.2f   (%d migrations)\n\n",
+		speedApp.Elapsed().Round(time.Millisecond), speedApp.Speedup(), bal.Migrations)
+
+	fmt.Println("per-thread CPU time under SPEED (equal work -> equal share):")
+	for _, t := range speedApp.Tasks {
+		fmt.Printf("  %-10s exec %8v   migrations %d   final core %d\n",
+			t.Name, t.ExecTime.Round(time.Millisecond), t.Migrations, t.CoreID)
+	}
+}

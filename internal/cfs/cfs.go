@@ -1,0 +1,264 @@
+// Package cfs models the Linux Completely Fair Scheduler as the per-core
+// scheduling policy (the first level of the two-level approach described
+// in the paper's §2: per-core queues with fair scheduling in time).
+//
+// The model keeps the CFS mechanisms that matter to load balancing:
+// virtual runtime ordered by nice weight, bounded timeslices, sleeper
+// credit on wakeup, wakeup preemption, and sched_yield placing the
+// yielder behind all other runnable tasks. It dispenses with the
+// red-black tree (queues here are short; an ordered slice is simpler and
+// deterministic).
+package cfs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// Params are the tunables of the scheduler, mirroring
+// /proc/sys/kernel/sched_* in the 2.6.28 kernel.
+type Params struct {
+	// Latency is the targeted scheduling period: every runnable task
+	// should run once per Latency (sched_latency_ns, default 20 ms).
+	Latency time.Duration
+	// MinGranularity is the floor on a task's slice
+	// (sched_min_granularity_ns, default 4 ms).
+	MinGranularity time.Duration
+	// WakeupGranularity is the vruntime lead a waking task needs to
+	// preempt the running one (sched_wakeup_granularity_ns, default
+	// 5 ms in 2.6.28; we keep it small enough for interactive wakeups).
+	WakeupGranularity time.Duration
+	// SleeperCredit bounds how much vruntime credit a waking sleeper
+	// receives (GENTLE_FAIR_SLEEPERS halves sched_latency).
+	SleeperCredit time.Duration
+}
+
+// DefaultParams returns the 2.6.28-era defaults.
+func DefaultParams() Params {
+	return Params{
+		Latency:           20 * time.Millisecond,
+		MinGranularity:    4 * time.Millisecond,
+		WakeupGranularity: 5 * time.Millisecond,
+		SleeperCredit:     10 * time.Millisecond,
+	}
+}
+
+const nice0Weight = 1024
+
+// Queue is one core's CFS run queue. It implements sim.Scheduler.
+type Queue struct {
+	p Params
+	// queue holds runnable tasks not currently executing, ordered by
+	// (vruntime, ID).
+	queue []*task.Task
+	cur   *task.Task
+	// minVruntime is the monotonic per-queue clock new arrivals are
+	// normalised against.
+	minVruntime int64
+	totalWeight int64
+}
+
+// New returns a CFS queue with the given parameters.
+func New(p Params) *Queue { return &Queue{p: p} }
+
+// Factory returns a sim scheduler factory producing CFS queues with
+// default parameters — the standard substrate for experiments.
+func Factory() func(coreID int) sim.Scheduler {
+	return FactoryWith(DefaultParams())
+}
+
+// FactoryWith returns a factory with explicit parameters.
+func FactoryWith(p Params) func(coreID int) sim.Scheduler {
+	return func(int) sim.Scheduler { return New(p) }
+}
+
+// Attach implements sim.Scheduler. CFS needs no machine access.
+func (q *Queue) Attach(m *sim.Machine, coreID int) {}
+
+// Enqueue implements sim.Scheduler: inserts a runnable task, granting
+// sleeper credit on wakeups, and reports whether it should preempt the
+// running task.
+func (q *Queue) Enqueue(t *task.Task, wakeup bool) bool {
+	if t.Sched.OnQueue {
+		panic(fmt.Sprintf("cfs: double enqueue of %q", t.Name))
+	}
+	if wakeup {
+		// place_entity wakeup semantics: the sleeper resumes from its
+		// absolute position when it slept, but never worse than
+		// minVruntime − SleeperCredit — a long sleeper re-enters with
+		// a bounded lead over the queue clock (GENTLE_FAIR_SLEEPERS).
+		old := t.Sched.Vruntime + t.Sched.QueueClock
+		if floor := q.minVruntime - int64(q.p.SleeperCredit); old < floor {
+			old = floor
+		}
+		t.Sched.Vruntime = old
+	} else {
+		// Migration/new-task: join relative to this queue's clock.
+		t.Sched.Vruntime += q.minVruntime
+	}
+	q.insert(t)
+	t.Sched.OnQueue = true
+	q.totalWeight += t.Sched.Weight
+	if q.cur != nil {
+		// Preemption check: the newcomer must lead by more than the
+		// wakeup granularity. The kernel runs check_preempt_curr for
+		// migrations too (pull_task), not only wakeups — without it a
+		// freshly migrated thread sits behind a barrier-spinner for
+		// the rest of its slice.
+		return q.cur.Sched.Vruntime-t.Sched.Vruntime > int64(q.p.WakeupGranularity)
+	}
+	return false
+}
+
+// Dequeue implements sim.Scheduler.
+func (q *Queue) Dequeue(t *task.Task) {
+	if t == q.cur {
+		q.cur = nil
+		q.totalWeight -= t.Sched.Weight
+	} else if t.Sched.OnQueue {
+		q.remove(t)
+		q.totalWeight -= t.Sched.Weight
+	} else {
+		panic(fmt.Sprintf("cfs: dequeue of absent task %q", t.Name))
+	}
+	t.Sched.OnQueue = false
+	// Leave the queue's clock: vruntime becomes queue-relative, and the
+	// clock snapshot lets a same-queue wakeup restore the absolute
+	// position.
+	t.Sched.QueueClock = q.minVruntime
+	t.Sched.Vruntime -= q.minVruntime
+}
+
+// PickNext implements sim.Scheduler: the leftmost (smallest vruntime)
+// task.
+func (q *Queue) PickNext() *task.Task {
+	if q.cur != nil {
+		panic("cfs: PickNext with current task still attached")
+	}
+	if len(q.queue) == 0 {
+		return nil
+	}
+	t := q.queue[0]
+	q.queue = q.queue[1:]
+	t.Sched.OnQueue = false
+	q.cur = t
+	q.updateMin()
+	return t
+}
+
+// PutPrev implements sim.Scheduler: the preempted/expired task rejoins
+// the queue.
+func (q *Queue) PutPrev(t *task.Task) {
+	if q.cur == t {
+		q.cur = nil
+	} else {
+		// A task stopped via stopCurrent and requeued later (yield
+		// path); weight already counted only if it was current.
+		q.totalWeight += t.Sched.Weight
+	}
+	q.insert(t)
+	t.Sched.OnQueue = true
+	q.updateMin()
+}
+
+// AccountExec implements sim.Scheduler: vruntime advances inversely to
+// weight.
+func (q *Queue) AccountExec(t *task.Task, d time.Duration) {
+	t.Sched.Vruntime += int64(d) * nice0Weight / t.Sched.Weight
+	q.updateMin()
+}
+
+// Slice implements sim.Scheduler: the task's share of the latency
+// period, floored by the minimum granularity.
+func (q *Queue) Slice(t *task.Task) time.Duration {
+	tw := q.totalWeight
+	if tw <= 0 {
+		tw = t.Sched.Weight
+	}
+	s := time.Duration(int64(q.p.Latency) * t.Sched.Weight / tw)
+	if s < q.p.MinGranularity {
+		s = q.p.MinGranularity
+	}
+	return s
+}
+
+// Yield implements sim.Scheduler: sched_yield moves the caller behind
+// every other runnable task (CFS sets its vruntime to the rightmost).
+func (q *Queue) Yield(t *task.Task) {
+	max := t.Sched.Vruntime
+	for _, o := range q.queue {
+		if o.Sched.Vruntime > max {
+			max = o.Sched.Vruntime
+		}
+	}
+	if max > t.Sched.Vruntime {
+		t.Sched.Vruntime = max
+	}
+	t.Sched.Vruntime++ // strictly behind ties
+}
+
+// NrRunnable implements sim.Scheduler.
+func (q *Queue) NrRunnable() int {
+	n := len(q.queue)
+	if q.cur != nil {
+		n++
+	}
+	return n
+}
+
+// WeightedLoad implements sim.Scheduler.
+func (q *Queue) WeightedLoad() int64 { return q.totalWeight }
+
+// Queued implements sim.Scheduler.
+func (q *Queue) Queued() []*task.Task {
+	out := make([]*task.Task, len(q.queue))
+	copy(out, q.queue)
+	return out
+}
+
+// MinVruntime exposes the queue clock for tests.
+func (q *Queue) MinVruntime() int64 { return q.minVruntime }
+
+func (q *Queue) insert(t *task.Task) {
+	i := sort.Search(len(q.queue), func(i int) bool {
+		o := q.queue[i]
+		if o.Sched.Vruntime != t.Sched.Vruntime {
+			return o.Sched.Vruntime > t.Sched.Vruntime
+		}
+		return o.ID > t.ID
+	})
+	q.queue = append(q.queue, nil)
+	copy(q.queue[i+1:], q.queue[i:])
+	q.queue[i] = t
+}
+
+func (q *Queue) remove(t *task.Task) {
+	for i, o := range q.queue {
+		if o == t {
+			q.queue = append(q.queue[:i], q.queue[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("cfs: task %q not in queue", t.Name))
+}
+
+// updateMin advances the queue clock to min(cur, leftmost), never
+// backwards.
+func (q *Queue) updateMin() {
+	m := int64(-1)
+	if q.cur != nil {
+		m = q.cur.Sched.Vruntime
+	}
+	if len(q.queue) > 0 {
+		if lv := q.queue[0].Sched.Vruntime; m < 0 || lv < m {
+			m = lv
+		}
+	}
+	if m > q.minVruntime {
+		q.minVruntime = m
+	}
+}

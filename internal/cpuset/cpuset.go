@@ -1,0 +1,127 @@
+// Package cpuset provides a compact set of CPU (core) identifiers.
+//
+// It models the affinity masks used by sched_setaffinity and taskset in
+// the paper: a task may only be placed on cores in its mask, the Linux
+// load balancer respects masks when pulling, and speedbalancer migrates a
+// thread by rewriting its mask to a single core. Machines in this
+// reproduction have at most 64 logical CPUs, so a single word suffices.
+package cpuset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Set is a bitmask of core IDs in [0, 64).
+type Set uint64
+
+// MaxCPU is the largest representable core ID plus one.
+const MaxCPU = 64
+
+// Of returns a set containing exactly the given cores.
+func Of(cores ...int) Set {
+	var s Set
+	for _, c := range cores {
+		s = s.Add(c)
+	}
+	return s
+}
+
+// Range returns the set {lo, lo+1, ..., hi-1}.
+func Range(lo, hi int) Set {
+	var s Set
+	for c := lo; c < hi; c++ {
+		s = s.Add(c)
+	}
+	return s
+}
+
+// All returns a set of the first n cores.
+func All(n int) Set { return Range(0, n) }
+
+// Add returns the set with core c included. It panics if c is out of range.
+func (s Set) Add(c int) Set {
+	check(c)
+	return s | 1<<uint(c)
+}
+
+// Remove returns the set with core c excluded.
+func (s Set) Remove(c int) Set {
+	check(c)
+	return s &^ (1 << uint(c))
+}
+
+// Has reports whether core c is in the set.
+func (s Set) Has(c int) bool {
+	if c < 0 || c >= MaxCPU {
+		return false
+	}
+	return s&(1<<uint(c)) != 0
+}
+
+// Count returns the number of cores in the set.
+func (s Set) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Empty reports whether the set has no cores.
+func (s Set) Empty() bool { return s == 0 }
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set { return s & t }
+
+// Minus returns s \ t.
+func (s Set) Minus(t Set) Set { return s &^ t }
+
+// Contains reports whether every core of t is in s.
+func (s Set) Contains(t Set) bool { return t&^s == 0 }
+
+// First returns the smallest core ID in the set, or -1 if empty.
+func (s Set) First() int {
+	if s == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(s))
+}
+
+// Cores returns the core IDs in ascending order.
+func (s Set) Cores() []int {
+	out := make([]int, 0, s.Count())
+	for v := uint64(s); v != 0; v &= v - 1 {
+		out = append(out, bits.TrailingZeros64(v))
+	}
+	return out
+}
+
+// String renders the set in taskset-like list form, e.g. "0-3,8,10-11".
+func (s Set) String() string {
+	if s == 0 {
+		return "{}"
+	}
+	var b strings.Builder
+	cores := s.Cores()
+	for i := 0; i < len(cores); {
+		j := i
+		for j+1 < len(cores) && cores[j+1] == cores[j]+1 {
+			j++
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		if j == i {
+			fmt.Fprintf(&b, "%d", cores[i])
+		} else {
+			fmt.Fprintf(&b, "%d-%d", cores[i], cores[j])
+		}
+		i = j + 1
+	}
+	return b.String()
+}
+
+func check(c int) {
+	if c < 0 || c >= MaxCPU {
+		panic(fmt.Sprintf("cpuset: core %d out of range [0,%d)", c, MaxCPU))
+	}
+}

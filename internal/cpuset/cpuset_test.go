@@ -1,0 +1,129 @@
+package cpuset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOfAndHas(t *testing.T) {
+	s := Of(0, 3, 63)
+	for c := 0; c < MaxCPU; c++ {
+		want := c == 0 || c == 3 || c == 63
+		if s.Has(c) != want {
+			t.Errorf("Has(%d) = %v, want %v", c, s.Has(c), want)
+		}
+	}
+	if s.Has(-1) || s.Has(64) {
+		t.Error("Has out of range returned true")
+	}
+}
+
+func TestRangeAll(t *testing.T) {
+	if got, want := Range(2, 5), Of(2, 3, 4); got != want {
+		t.Errorf("Range(2,5) = %v, want %v", got, want)
+	}
+	if got := All(3); got != Of(0, 1, 2) {
+		t.Errorf("All(3) = %v", got)
+	}
+	if !Range(5, 5).Empty() {
+		t.Error("empty range not empty")
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	var s Set
+	s = s.Add(7)
+	if !s.Has(7) || s.Count() != 1 {
+		t.Fatalf("after Add(7): %v", s)
+	}
+	s = s.Add(7) // idempotent
+	if s.Count() != 1 {
+		t.Error("double Add changed count")
+	}
+	s = s.Remove(7)
+	if !s.Empty() {
+		t.Error("Remove did not empty the set")
+	}
+	s = s.Remove(7) // idempotent
+	if !s.Empty() {
+		t.Error("double Remove changed the set")
+	}
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for Add(64)")
+		}
+	}()
+	Set(0).Add(64)
+}
+
+func TestCoresOrderAndFirst(t *testing.T) {
+	s := Of(9, 1, 5)
+	got := s.Cores()
+	want := []int{1, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Cores = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Cores = %v, want %v", got, want)
+		}
+	}
+	if s.First() != 1 {
+		t.Errorf("First = %d", s.First())
+	}
+	if Set(0).First() != -1 {
+		t.Error("First of empty != -1")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		s    Set
+		want string
+	}{
+		{Set(0), "{}"},
+		{Of(3), "3"},
+		{Of(0, 1, 2, 3), "0-3"},
+		{Of(0, 1, 2, 8, 10, 11), "0-2,8,10-11"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("%#x.String() = %q, want %q", uint64(c.s), got, c.want)
+		}
+	}
+}
+
+// Set-algebra laws via quick.Check.
+func TestPropertySetAlgebra(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(func(a, b uint64) bool {
+		x, y := Set(a), Set(b)
+		return x.Union(y) == y.Union(x) &&
+			x.Intersect(y) == y.Intersect(x) &&
+			x.Union(y).Contains(x) &&
+			x.Contains(x.Intersect(y)) &&
+			x.Minus(y).Intersect(y).Empty() &&
+			x.Minus(y).Union(x.Intersect(y)) == x
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(a uint64) bool {
+		x := Set(a)
+		return x.Count() == len(x.Cores())
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Cores round-trips through Of.
+func TestPropertyCoresRoundTrip(t *testing.T) {
+	if err := quick.Check(func(a uint64) bool {
+		x := Set(a)
+		return Of(x.Cores()...) == x
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,134 @@
+// Package eventq implements the time-ordered event queue at the heart of
+// the discrete-event simulator.
+//
+// Events are ordered by (time, sequence): the sequence number is assigned
+// at push time, so two events scheduled for the same instant fire in the
+// order they were scheduled. That stability matters for determinism —
+// without it, heap sibling order would decide whether, say, a balancer
+// fires before or after a barrier release at the same nanosecond.
+package eventq
+
+// Time is an absolute simulation time in nanoseconds since the start of
+// the run. It is redeclared by package sim; eventq keeps its own alias so
+// it has no dependencies.
+type Time int64
+
+// Event is a scheduled callback. Fire is invoked with the event's time.
+type Event struct {
+	At   Time
+	Fire func(now Time)
+
+	seq   uint64
+	index int // heap index, -1 when not queued
+}
+
+// Queue is a min-heap of events. The zero value is an empty queue ready
+// to use.
+type Queue struct {
+	heap []*Event
+	seq  uint64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Push schedules fn to fire at time at and returns the event handle,
+// which can be passed to Remove to cancel it.
+func (q *Queue) Push(at Time, fn func(now Time)) *Event {
+	e := &Event{At: at, Fire: fn, seq: q.seq}
+	q.seq++
+	e.index = len(q.heap)
+	q.heap = append(q.heap, e)
+	q.up(e.index)
+	return e
+}
+
+// Pop removes and returns the earliest event, or nil if the queue is
+// empty.
+func (q *Queue) Pop() *Event {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	top := q.heap[0]
+	last := len(q.heap) - 1
+	q.swap(0, last)
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	top.index = -1
+	return top
+}
+
+// Peek returns the earliest event without removing it, or nil.
+func (q *Queue) Peek() *Event {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	return q.heap[0]
+}
+
+// Remove cancels a pending event. It is a no-op if the event has already
+// fired or been removed. It returns whether the event was removed.
+func (q *Queue) Remove(e *Event) bool {
+	if e == nil || e.index < 0 || e.index >= len(q.heap) || q.heap[e.index] != e {
+		return false
+	}
+	i := e.index
+	last := len(q.heap) - 1
+	q.swap(i, last)
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	if i < last {
+		q.down(i)
+		q.up(i)
+	}
+	e.index = -1
+	return true
+}
+
+// less orders by time, then by scheduling sequence.
+func (q *Queue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].index = i
+	q.heap[j].index = j
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && q.less(right, left) {
+			child = right
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q.swap(i, child)
+		i = child
+	}
+}

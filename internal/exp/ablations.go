@@ -1,0 +1,221 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cpuset"
+	"repro/internal/npb"
+	"repro/internal/speedbal"
+	"repro/internal/spmd"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// The ablations probe the design choices §5 calls out: the speed
+// threshold T_s, the balance interval, wake-up jitter, NUMA blocking,
+// and the least-migrated pull policy.
+
+func init() {
+	Register(&Experiment{
+		ID:       "abl-ts",
+		Title:    "Ablation: speed threshold T_s",
+		PaperRef: "§5.2 (T_s = 0.9)",
+		Expect: "T_s near 1.0 reacts to measurement noise with spurious " +
+			"migrations on balanced runs; too low a threshold stops profitable " +
+			"pulls on imbalanced runs. 0.9 gets both right.",
+		Run: runAblTs,
+	})
+	Register(&Experiment{
+		ID:       "abl-int",
+		Title:    "Ablation: balance interval",
+		PaperRef: "§6.1 (100 ms default; 20 ms best for EP)",
+		Expect: "Cheap-migration workloads (EP) favour short intervals; " +
+			"100 ms is the best compromise once migration costs matter.",
+		Run: runAblInterval,
+	})
+	Register(&Experiment{
+		ID:       "abl-jit",
+		Title:    "Ablation: randomised wake-up jitter",
+		PaperRef: "§5.1 (break migration cycles)",
+		Expect: "Without jitter, balancers synchronise and chase the same " +
+			"slow core (hot-potato cycles): more migrations for equal or worse " +
+			"run time.",
+		Run: runAblJitter,
+	})
+	Register(&Experiment{
+		ID:       "abl-numa",
+		Title:    "Ablation: NUMA migration blocking",
+		PaperRef: "§5.2 (block inter-node migrations)",
+		Expect: "Allowing cross-node migrations on Barcelona moves threads away " +
+			"from their first-touch pages; memory-bound benchmarks slow down.",
+		Run: runAblNUMA,
+	})
+	Register(&Experiment{
+		ID:       "abl-pull",
+		Title:    "Ablation: victim selection policy",
+		PaperRef: "§5.1 (pull the least-migrated thread)",
+		Expect: "Pulling the most-migrated thread creates hot-potato tasks " +
+			"(more migrations, higher warmup cost, worse equalisation) than " +
+			"least-migrated.",
+		Run: runAblPull,
+	})
+}
+
+// ablEP is the canonical imbalanced workload: EP with 16 threads on 10
+// cores (SQ=6, FQ=4).
+func ablEP(ctx *Context) spmd.Spec {
+	return ScaleSpec(ctx, npb.EP.Spec(16, spmd.UPC(), cpuset.All(10)))
+}
+
+func runAblTs(ctx *Context) []*Table {
+	t := &Table{
+		Title:   "Speed threshold sweep (EP, 16 threads / 10 cores, Tigerton)",
+		Columns: []string{"T_s", "speedup", "migrations", "balanced-run migrations"},
+	}
+	config := 7000
+	for _, ts := range []float64{0.5, 0.7, 0.8, 0.9, 0.95, 0.999} {
+		cfg := speedbal.DefaultConfig()
+		cfg.Threshold = ts
+		var sp, mig, migBal stats.Sample
+		Repeat(ctx, config, RunOpts{
+			Topo: topo.Tigerton, Strategy: StratSpeed, Spec: ablEP(ctx), SpeedCfg: &cfg,
+		}, func(_ int, r RunResult) {
+			sp.Add(r.Speedup)
+			mig.Add(float64(r.SpeedbalMigrations))
+		})
+		config++
+		// Balanced control: 16 threads on 16 cores — any migration is
+		// spurious noise-chasing.
+		balSpec := ScaleSpec(ctx, npb.EP.Spec(16, spmd.UPC(), cpuset.All(16)))
+		Repeat(ctx, config, RunOpts{
+			Topo: topo.Tigerton, Strategy: StratSpeed, Spec: balSpec, SpeedCfg: &cfg,
+		}, func(_ int, r RunResult) { migBal.Add(float64(r.SpeedbalMigrations)) })
+		config++
+		t.AddRow(fmt.Sprintf("%.3g", ts), sp.Mean(), mig.Mean(), migBal.Mean())
+		ctx.Logf("abl-ts: T_s=%.3g done", ts)
+	}
+	return []*Table{t}
+}
+
+func runAblInterval(ctx *Context) []*Table {
+	t := &Table{
+		Title: "Balance interval sweep (Tigerton)",
+		Columns: []string{"interval", "EP 16/10 speedup", "EP migrations",
+			"ft.B 16/10 time s", "ft migrations"},
+	}
+	config := 7100
+	for _, iv := range []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+		100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+	} {
+		cfg := speedbal.DefaultConfig()
+		cfg.Interval = iv
+		var ep, epm, ft, ftm stats.Sample
+		Repeat(ctx, config, RunOpts{
+			Topo: topo.Tigerton, Strategy: StratSpeed, Spec: ablEP(ctx), SpeedCfg: &cfg,
+		}, func(_ int, r RunResult) {
+			ep.Add(r.Speedup)
+			epm.Add(float64(r.SpeedbalMigrations))
+		})
+		config++
+		ftSpec := ScaleSpec(ctx, npb.FT.Spec(16, spmd.UPC(), cpuset.All(10)))
+		Repeat(ctx, config, RunOpts{
+			Topo: topo.Tigerton, Strategy: StratSpeed, Spec: ftSpec, SpeedCfg: &cfg,
+		}, func(_ int, r RunResult) {
+			ft.AddDuration(r.Elapsed)
+			ftm.Add(float64(r.SpeedbalMigrations))
+		})
+		config++
+		t.AddRow(fmt.Sprintf("%v", iv), ep.Mean(), epm.Mean(), ft.Mean(), ftm.Mean())
+		ctx.Logf("abl-int: %v done", iv)
+	}
+	t.Note("EP migrations are ~free (tiny RSS); ft.B pays ~hundreds of µs warmup per move")
+	return []*Table{t}
+}
+
+func runAblJitter(ctx *Context) []*Table {
+	t := &Table{
+		Title:   "Jitter on/off (EP, 16 threads / 10 cores, Tigerton)",
+		Columns: []string{"jitter", "speedup", "variation %", "migrations"},
+	}
+	config := 7200
+	for _, jit := range []bool{true, false} {
+		cfg := speedbal.DefaultConfig()
+		cfg.Jitter = jit
+		var sp, rt, mig stats.Sample
+		Repeat(ctx, config, RunOpts{
+			Topo: topo.Tigerton, Strategy: StratSpeed, Spec: ablEP(ctx), SpeedCfg: &cfg,
+		}, func(_ int, r RunResult) {
+			sp.Add(r.Speedup)
+			rt.AddDuration(r.Elapsed)
+			mig.Add(float64(r.SpeedbalMigrations))
+		})
+		config++
+		t.AddRow(fmt.Sprintf("%v", jit), sp.Mean(), rt.VariationPct(), mig.Mean())
+	}
+	return []*Table{t}
+}
+
+func runAblNUMA(ctx *Context) []*Table {
+	t := &Table{
+		Title:   "NUMA blocking on Barcelona (ft.B, 16 threads / 10 cores)",
+		Columns: []string{"block NUMA", "time s", "speedup", "migrations"},
+	}
+	config := 7300
+	for _, block := range []bool{true, false} {
+		cfg := speedbal.DefaultConfig()
+		cfg.BlockNUMA = block
+		spec := ScaleSpec(ctx, npb.FT.Spec(16, spmd.UPC(), cpuset.All(10)))
+		var rt, sp, mig stats.Sample
+		Repeat(ctx, config, RunOpts{
+			Topo: topo.Barcelona, Strategy: StratSpeed, Spec: spec, SpeedCfg: &cfg,
+		}, func(_ int, r RunResult) {
+			rt.AddDuration(r.Elapsed)
+			sp.Add(r.Speedup)
+			mig.Add(float64(r.SpeedbalMigrations))
+		})
+		config++
+		t.AddRow(fmt.Sprintf("%v", block), rt.Mean(), sp.Mean(), mig.Mean())
+		ctx.Logf("abl-numa: block=%v done", block)
+	}
+	t.Note("ft.B threads first-touch their pages on the starting node; cross-node moves run at the remote-memory penalty thereafter")
+	return []*Table{t}
+}
+
+func runAblPull(ctx *Context) []*Table {
+	t := &Table{
+		Title:   "Victim selection (EP, 16 threads / 10 cores, Tigerton)",
+		Columns: []string{"policy", "speedup", "migrations", "max per-thread migrations"},
+	}
+	policies := []struct {
+		name string
+		p    speedbal.PullPolicy
+	}{
+		{"least-migrated", speedbal.PullLeastMigrated},
+		{"random", speedbal.PullRandom},
+		{"most-migrated", speedbal.PullMostMigrated},
+	}
+	config := 7400
+	for _, pol := range policies {
+		cfg := speedbal.DefaultConfig()
+		cfg.PullPolicy = pol.p
+		var sp, mig, maxm stats.Sample
+		Repeat(ctx, config, RunOpts{
+			Topo: topo.Tigerton, Strategy: StratSpeed, Spec: ablEP(ctx), SpeedCfg: &cfg,
+		}, func(_ int, r RunResult) {
+			sp.Add(r.Speedup)
+			mig.Add(float64(r.SpeedbalMigrations))
+			mm := 0
+			for _, tk := range r.App.Tasks {
+				if tk.Migrations > mm {
+					mm = tk.Migrations
+				}
+			}
+			maxm.Add(float64(mm))
+		})
+		config++
+		t.AddRow(pol.name, sp.Mean(), mig.Mean(), maxm.Mean())
+	}
+	return []*Table{t}
+}

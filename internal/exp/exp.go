@@ -1,0 +1,105 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§6) plus the ablations listed in
+// DESIGN.md §4, rendering results as text tables (and CSV).
+//
+// Each experiment is registered under the ID used throughout DESIGN.md
+// and EXPERIMENTS.md (fig1, fig2, fig3t, fig3b, fig4, fig4omp, fig5,
+// fig6, table1, table2, table3, ompS, abl-*). `lbos run <id>` executes
+// one; `go test -bench` runs scaled-down versions of all of them.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Context carries run-wide settings into experiments.
+type Context struct {
+	// Reps is the number of repetitions per configuration (the paper
+	// repeats each experiment ten times or more).
+	Reps int
+	// Scale divides workload sizes: 1 = full paper scale, larger values
+	// shrink iteration counts/work for quick runs (benches use 8).
+	Scale int
+	// Seed is the base RNG seed; repetition r of configuration k uses a
+	// deterministic function of (Seed, k, r).
+	Seed uint64
+	// Log receives progress lines (nil discards).
+	Log io.Writer
+}
+
+// DefaultContext returns paper-scale settings: 10 repetitions, scale 1.
+func DefaultContext() *Context {
+	return &Context{Reps: 10, Scale: 1, Seed: 20100109} // PPoPP'10 date
+}
+
+// QuickContext returns a scaled-down context for tests and benches.
+func QuickContext() *Context {
+	return &Context{Reps: 3, Scale: 8, Seed: 20100109}
+}
+
+// Logf writes a progress line.
+func (c *Context) Logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	// ID is the short handle (e.g. "fig3t").
+	ID string
+	// Title is the human description.
+	Title string
+	// PaperRef names the artifact in the paper ("Figure 3, left").
+	PaperRef string
+	// Expect summarises the shape the paper reports, for side-by-side
+	// reading in EXPERIMENTS.md.
+	Expect string
+	// Run executes the experiment and returns its tables.
+	Run func(ctx *Context) []*Table
+}
+
+var registry = map[string]*Experiment{}
+
+// Register adds an experiment; duplicate IDs panic.
+func Register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("exp: duplicate experiment %q", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// ByID returns the experiment or an error listing valid IDs.
+func ByID(id string) (*Experiment, error) {
+	if e, ok := registry[id]; ok {
+		return e, nil
+	}
+	ids := make([]string, 0, len(registry))
+	for k := range registry {
+		ids = append(ids, k)
+	}
+	sort.Strings(ids)
+	return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", id, ids)
+}
+
+// All returns every experiment sorted by ID.
+func All() []*Experiment {
+	out := make([]*Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// seedFor derives a per-(configuration, repetition) seed.
+func seedFor(base uint64, config, rep int) uint64 {
+	x := base ^ uint64(config)*0x9e3779b97f4a7c15 ^ uint64(rep)*0xbf58476d1ce4e5b9
+	// One splitmix-style mix so nearby inputs decorrelate.
+	x ^= x >> 30
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,157 @@
+package exp
+
+// Fidelity tests: assert the *shapes* of the paper's headline results at
+// a reduced scale, so a regression in any balancer or substrate model
+// that would flip a conclusion fails the suite. (EXPERIMENTS.md records
+// the full-scale values.)
+
+import (
+	"strconv"
+	"testing"
+)
+
+func fidelityCtx() *Context { return &Context{Reps: 3, Scale: 8, Seed: 20100109} }
+
+func cellF(t *testing.T, tb *Table, row int, col string) float64 {
+	t.Helper()
+	ci := -1
+	for i, c := range tb.Columns {
+		if c == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		t.Fatalf("no column %q in %q", col, tb.Title)
+	}
+	v, err := strconv.ParseFloat(tb.Rows[row][ci], 64)
+	if err != nil {
+		t.Fatalf("cell [%d,%s] = %q: %v", row, col, tb.Rows[row][ci], err)
+	}
+	return v
+}
+
+func rowOf(t *testing.T, tb *Table, first string) int {
+	t.Helper()
+	for i, r := range tb.Rows {
+		if r[0] == first {
+			return i
+		}
+	}
+	t.Fatalf("no row %q in %q", first, tb.Title)
+	return -1
+}
+
+// Figure 3 orderings at 12 cores (16 does not divide by 12): SPEED well
+// above PINNED and LOAD-YIELD; LOAD-SLEEP above LOAD-YIELD; One-per-core
+// ≈ linear; ULE ≈ PINNED.
+func TestFidelityFig3Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fidelity tests skipped in short mode")
+	}
+	tables := mustRun(t, "fig3t", fidelityCtx())
+	tb := tables[0]
+	r := rowOf(t, tb, "12")
+	oneper := cellF(t, tb, r, "One-per-core")
+	speed := cellF(t, tb, r, "SPEED")
+	sleep := cellF(t, tb, r, "LOAD-SLEEP")
+	yield := cellF(t, tb, r, "LOAD-YIELD")
+	pinned := cellF(t, tb, r, "PINNED")
+	ule := cellF(t, tb, r, "FreeBSD")
+
+	if oneper < 11.5 {
+		t.Errorf("One-per-core at 12 cores = %.2f, want ≈ 12", oneper)
+	}
+	if speed < pinned*1.15 {
+		t.Errorf("SPEED %.2f not well above PINNED %.2f", speed, pinned)
+	}
+	if speed < yield*1.15 {
+		t.Errorf("SPEED %.2f not well above LOAD-YIELD %.2f", speed, yield)
+	}
+	if sleep < yield*1.05 {
+		t.Errorf("LOAD-SLEEP %.2f not above LOAD-YIELD %.2f", sleep, yield)
+	}
+	if diff := ule - pinned; diff > 1 || diff < -1 {
+		t.Errorf("ULE %.2f not ≈ PINNED %.2f", ule, pinned)
+	}
+}
+
+// Figure 2 shape: at S ≪ B all columns sit at the ~1.33 lockstep bound;
+// at coarse S the smallest interval approaches 1.0 and intervals are
+// monotone (smaller B never much worse).
+func TestFidelityFig2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fidelity tests skipped in short mode")
+	}
+	tables := mustRun(t, "fig2", fidelityCtx())
+	tb := tables[0]
+	fine := rowOf(t, tb, "50µs")
+	for _, col := range []string{"LOAD", "SPEED B=20ms", "SPEED B=500ms"} {
+		v := cellF(t, tb, fine, col)
+		if v < 1.25 || v > 1.45 {
+			t.Errorf("fine grain %s = %.3f, want ≈ 1.33 (lockstep)", col, v)
+		}
+	}
+	coarse := rowOf(t, tb, "1s")
+	if v := cellF(t, tb, coarse, "SPEED B=20ms"); v > 1.1 {
+		t.Errorf("coarse grain SPEED B=20ms = %.3f, want ≈ 1.0", v)
+	}
+	if load := cellF(t, tb, coarse, "LOAD"); load < 1.25 {
+		t.Errorf("coarse grain LOAD = %.3f, want ≈ 1.33 (no mid-iteration help)", load)
+	}
+}
+
+// Figure 5 shape at 16 cores: PINNED degrades to ~half speed; SPEED
+// clearly above both PINNED and LOAD.
+func TestFidelityFig5Hog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fidelity tests skipped in short mode")
+	}
+	tables := mustRun(t, "fig5", fidelityCtx())
+	tb := tables[0]
+	r := rowOf(t, tb, "16")
+	pinned := cellF(t, tb, r, "PINNED")
+	speed := cellF(t, tb, r, "SPEED")
+	load := cellF(t, tb, r, "LOAD")
+	if pinned > 8.5 {
+		t.Errorf("PINNED with hog = %.2f, want ≈ 8 (half speed)", pinned)
+	}
+	if speed < pinned*1.2 || speed < load*1.1 {
+		t.Errorf("SPEED %.2f not clearly above PINNED %.2f / LOAD %.2f", speed, pinned, load)
+	}
+}
+
+// Table 3 aggregate: SPEED improves on LOAD and PINNED on average, with
+// far lower variation than LOAD.
+func TestFidelityTable3Aggregate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fidelity tests skipped in short mode")
+	}
+	tables := mustRun(t, "table3", fidelityCtx())
+	tb := tables[0]
+	// The big improvements concentrate in ep.C (the paper's 24/46/90
+	// row): fine-grain benchmarks sit near the Lemma 1 parity bound.
+	r := rowOf(t, tb, "ep.C")
+	if vsLoad := cellF(t, tb, r, "vs LB avg"); vsLoad < 5 {
+		t.Errorf("ep.C SPEED vs LOAD avg = %.1f%%, want clearly positive", vsLoad)
+	}
+	all := rowOf(t, tb, "all")
+	if vsPinned := cellF(t, tb, all, "vs PINNED"); vsPinned < 0 {
+		t.Errorf("aggregate SPEED vs PINNED = %.1f%%, want non-negative", vsPinned)
+	}
+	if vsLoad := cellF(t, tb, all, "vs LB avg"); vsLoad < 0.5 {
+		t.Errorf("aggregate SPEED vs LOAD = %.1f%%, want positive", vsLoad)
+	}
+	// Variance claims need full scale and full reps; just log here.
+	t.Logf("aggregate: vsPinned=%.1f%% vsLoad=%.1f%% varS=%.1f%% varL=%.1f%%",
+		cellF(t, tb, all, "vs PINNED"), cellF(t, tb, all, "vs LB avg"),
+		cellF(t, tb, all, "SPEED var %"), cellF(t, tb, all, "LOAD var %"))
+}
+
+func mustRun(t *testing.T, id string, ctx *Context) []*Table {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.Run(ctx)
+}

@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+func init() {
+	Register(&Experiment{
+		ID:       "fig1",
+		Title:    "Profitability threshold: minimum S vs cores and threads (B=1)",
+		PaperRef: "Figure 1",
+		Expect: "In the majority of cases S ≤ 1; increasing threads for fixed cores " +
+			"relaxes the minimum S, increasing cores raises it; worst cases (high S) on " +
+			"the diagonals with two threads per core and many slow cores; " +
+			"data range ≈ [0.015, 147].",
+		Run: runFig1,
+	})
+}
+
+func runFig1(ctx *Context) []*Table {
+	// The paper plots the full surface for cores and threads up to 100.
+	// The table reports the same quantity on a readable grid plus the
+	// global extrema of the full surface.
+	cores := []int{4, 8, 16, 32, 64, 100}
+	threads := []int{5, 9, 17, 33, 65, 101, 150, 200}
+
+	t := &Table{
+		Title:   "Minimum profitable S (units of B) — min S = 2·ceil(SQ/FQ)/(T+1)",
+		Columns: append([]string{"threads\\cores"}, intsToStrings(cores)...),
+	}
+	for _, n := range threads {
+		row := []any{fmt.Sprintf("%d", n)}
+		for _, m := range cores {
+			if n <= m {
+				row = append(row, "-")
+				continue
+			}
+			s := model.NewSplit(n, m)
+			if s.Balanced() {
+				row = append(row, "even")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.3g", s.MinS()))
+		}
+		t.AddRow(row...)
+	}
+
+	// Full-surface extrema, as in the figure caption.
+	min, max := 0.0, 0.0
+	first := true
+	count, leqOne := 0, 0
+	for m := 2; m <= 100; m++ {
+		for n := m + 1; n <= 2*100; n++ {
+			s := model.NewSplit(n, m)
+			if s.Balanced() {
+				continue
+			}
+			v := s.MinS()
+			if first || v < min {
+				min = v
+			}
+			if first || v > max {
+				max = v
+			}
+			first = false
+			count++
+			if v <= 1 {
+				leqOne++
+			}
+		}
+	}
+	t.Note("full surface (cores 2–100, threads ≤ 200): range [%.3g, %.3g]; %d%% of cases have min S ≤ 1 (paper: range [0.015, 147], \"in the majority of cases S ≤ 1\")",
+		min, max, 100*leqOne/count)
+
+	// Brute-force validation of Lemma 1 on the same grid.
+	viol := 0
+	checked := 0
+	for m := 2; m <= 40; m++ {
+		for n := m + 1; n <= 80; n++ {
+			s := model.NewSplit(n, m)
+			if s.Balanced() {
+				continue
+			}
+			checked++
+			if model.SimulateSteps(s) > s.StepsBound() {
+				viol++
+			}
+		}
+	}
+	t.Note("Lemma 1 brute-force check over %d (N,M) splits: %d bound violations", checked, viol)
+	return []*Table{t}
+}
+
+func intsToStrings(xs []int) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%d", x)
+	}
+	return out
+}

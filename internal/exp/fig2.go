@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cpuset"
+	"repro/internal/speedbal"
+	"repro/internal/spmd"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+func init() {
+	Register(&Experiment{
+		ID:       "fig2",
+		Title:    "3 threads on 2 cores: barrier granularity vs balance interval",
+		PaperRef: "Figure 2 / §6.1",
+		Expect: "Increasing the frequency of migrations (smaller balance interval) " +
+			"improves performance; a 20 ms interval is best for the EP-style " +
+			"benchmark; below the Lemma 1 threshold speed balancing matches LOAD " +
+			"(slowdown ≈ 1.33 vs the 1.5S ideal), above it approaches the ideal.",
+		Run: runFig2,
+	})
+}
+
+func runFig2(ctx *Context) []*Table {
+	// Total compute per thread is fixed (the paper uses ≈27 s); the
+	// barrier granularity S divides it into iterations.
+	totalWork := 27e9 / float64(ctx.Scale)
+	grains := []time.Duration{
+		50 * time.Microsecond, // paper's regime: S ≪ B, parity with LOAD expected
+		time.Millisecond,
+		5 * time.Millisecond,
+		20 * time.Millisecond,
+		50 * time.Millisecond,
+		200 * time.Millisecond,
+		time.Second,
+	}
+	intervals := []time.Duration{
+		20 * time.Millisecond,
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		500 * time.Millisecond,
+	}
+
+	cols := []string{"S (inter-barrier)", "LOAD"}
+	for _, b := range intervals {
+		cols = append(cols, fmt.Sprintf("SPEED B=%v", b))
+	}
+	t := &Table{
+		Title:   "Slowdown vs ideal 1.5·S·iterations (3 threads, 2 cores, UPC yield barriers)",
+		Columns: cols,
+	}
+
+	config := 0
+	for _, grain := range grains {
+		iters := int(totalWork / float64(grain))
+		if iters < 1 {
+			iters = 1
+		}
+		// Cap event volume at fine granularities: the slowdown ratio is
+		// per-iteration, so fewer iterations measure the same quantity.
+		if iters > 20000 {
+			iters = 20000
+		}
+		spec := spmd.Spec{
+			Name: "ep-mod", Threads: 3, Iterations: iters,
+			WorkPerIteration: float64(grain),
+			Model:            spmd.UPC(),
+			Affinity:         cpuset.All(2),
+		}
+		ideal := 1.5 * float64(iters) * float64(grain)
+		row := []any{fmt.Sprintf("%v", grain)}
+
+		var load stats.Sample
+		Repeat(ctx, config, RunOpts{
+			Topo:     func() *topo.Topology { return topo.SMP(2) },
+			Strategy: StratLoad, Spec: spec,
+		}, func(_ int, r RunResult) { load.Add(float64(r.Elapsed) / ideal) })
+		config++
+		row = append(row, load.Mean())
+
+		for _, b := range intervals {
+			cfg := speedbal.DefaultConfig()
+			cfg.Interval = b
+			var s stats.Sample
+			Repeat(ctx, config, RunOpts{
+				Topo:     func() *topo.Topology { return topo.SMP(2) },
+				Strategy: StratSpeed, Spec: spec, SpeedCfg: &cfg,
+			}, func(_ int, r RunResult) { s.Add(float64(r.Elapsed) / ideal) })
+			config++
+			row = append(row, s.Mean())
+		}
+		t.AddRow(row...)
+		ctx.Logf("fig2: S=%v done", grain)
+	}
+	t.Note("total compute per thread %.3gs; ideal = perfect 3-way split over 2 cores", totalWork/1e9)
+	t.Note("paper deviation: the paper sweeps S in tens of µs where its measured spread (1.1–1.3) depends on kernel yield quirks we do not model; per Lemma 1, S ≪ B rows must sit at ≈1.33 (2S lockstep) for every balancer, and the S ≫ B rows approach 1.0")
+	return []*Table{t}
+}

@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"time"
+
+	"repro/internal/competing"
+	"repro/internal/cpuset"
+	"repro/internal/npb"
+	"repro/internal/sim"
+	"repro/internal/spmd"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+func init() {
+	Register(&Experiment{
+		ID:       "fig6",
+		Title:    "NAS benchmarks sharing the system with make -j",
+		PaperRef: "Figure 6 / §6.3",
+		Expect: "SPEED performs well against a realistic competitor that uses " +
+			"memory, I/O and spawns subprocesses: the SPEED/LOAD run-time ratio " +
+			"stays at or below 1 across benchmarks and -j widths.",
+		Run: runFig6,
+	})
+}
+
+func runFig6(ctx *Context) []*Table {
+	widths := []int{2, 4, 8, 16}
+	benches := []npb.Benchmark{npb.EP, npb.FT, npb.IS, npb.CG}
+
+	cols := []string{"benchmark"}
+	for _, w := range widths {
+		cols = append(cols, "-j"+itoa(w))
+	}
+	t := &Table{
+		Title:   "SPEED/LOAD run-time ratio sharing 16 cores with make -j (ratios < 1 favour SPEED)",
+		Columns: cols,
+	}
+
+	config := 3000
+	for _, b := range benches {
+		row := []any{b.Name}
+		for _, w := range widths {
+			spec := ScaleSpec(ctx, b.Spec(16, spmd.UPC(), cpuset.All(16)))
+			mk := func(m *sim.Machine) {
+				m.AddActor(&competing.MakeJ{Width: w, Duration: time.Hour})
+			}
+			var sp, lb stats.Sample
+			Repeat(ctx, config, RunOpts{
+				Topo: topo.Tigerton, Strategy: StratSpeed, Spec: spec, Setup: mk,
+			}, func(_ int, r RunResult) { sp.AddDuration(r.Elapsed) })
+			config++
+			Repeat(ctx, config, RunOpts{
+				Topo: topo.Tigerton, Strategy: StratLoad, Spec: spec, Setup: mk,
+			}, func(_ int, r RunResult) { lb.AddDuration(r.Elapsed) })
+			config++
+			row = append(row, sp.Mean()/lb.Mean())
+			ctx.Logf("fig6: %s -j%d done", b.Name, w)
+		}
+		t.AddRow(row...)
+	}
+	t.Note("make -j keeps its job width in flight for the whole run (jobs compute, sleep on I/O, exit and respawn); jobs are unpinned and balanced by the OS in both configurations")
+	return []*Table{t}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

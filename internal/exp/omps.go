@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"time"
+
+	"repro/internal/competing"
+	"repro/internal/cpuset"
+	"repro/internal/npb"
+	"repro/internal/sim"
+	"repro/internal/spmd"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+func init() {
+	Register(&Experiment{
+		ID:       "fig4omp",
+		Title:    "OpenMP workload: default (DEF) vs polling (INF) barriers under LOAD and SPEED",
+		PaperRef: "Figure 4 (OpenMP lines) / §6.2",
+		Expect: "LOAD with polling barriers (LB_INF) is ~7% better than LB_DEF " +
+			"overall on dedicated cores; best overall is SPEED with polling " +
+			"(SB_INF ≈ 11% over LB_INF); SPEED with sleeping barriers loses ~3% vs " +
+			"LB_DEF because speedbalancer has no special handling for sleepers.",
+		Run: runFig4OMP,
+	})
+	Register(&Experiment{
+		ID:       "ompS",
+		Title:    "OpenMP class S (barrier-dominated) on Barcelona, 16 cores, polling barriers",
+		PaperRef: "§6.4",
+		Expect: "Paper: ~45% improvement for class S with polling barriers at 16 " +
+			"cores. NOT REPRODUCED (recorded as a negative result): the 45% rides " +
+			"on kernel-noise convoy amplification at tens-of-µs barriers, which " +
+			"the clean simulator deliberately lacks — measured SB_INF ≈ LB_INF ≈ " +
+			"LB_DEF. See EXPERIMENTS.md.",
+		Run: runOmpS,
+	})
+}
+
+func runFig4OMP(ctx *Context) []*Table {
+	benches := []npb.Benchmark{npb.BT, npb.CG, npb.FT, npb.IS, npb.SP}
+	// Core count 4 makes oversubscribed barrier waits exceed
+	// KMP_BLOCKTIME for the coarse benchmarks, exposing the DEF/INF
+	// sleep-vs-poll difference; 12 and 14 are the uneven counts.
+	coreCounts := []int{4, 12, 14}
+	t := &Table{
+		Title: "OpenMP run-time ratios (avg over reps and core counts 4/12/14, 16 threads, Tigerton)",
+		Columns: []string{"benchmark", "LB_INF/LB_DEF", "SB_INF/LB_INF", "SB_DEF/LB_DEF",
+			"SB_INF var%", "LB_INF var%"},
+	}
+	config := 5000
+	var aInf, aDef, aSbInf, aSbDef stats.Sample
+	for _, b := range benches {
+		var rInfDef, rSbLb, rSbDefLbDef, varS, varL stats.Sample
+		for _, n := range coreCounts {
+			run := func(strat Strategy, model spmd.Model) *stats.Sample {
+				s := &stats.Sample{}
+				spec := ScaleSpec(ctx, b.Spec(16, model, cpuset.All(n)))
+				Repeat(ctx, config, RunOpts{
+					Topo: topo.Tigerton, Strategy: strat, Spec: spec,
+				}, func(_ int, r RunResult) { s.AddDuration(r.Elapsed) })
+				config++
+				return s
+			}
+			lbDef := run(StratLoad, spmd.OpenMPDefault())
+			lbInf := run(StratLoad, spmd.OpenMPInfinite())
+			sbDef := run(StratSpeed, spmd.OpenMPDefault())
+			sbInf := run(StratSpeed, spmd.OpenMPInfinite())
+			rInfDef.Add(lbInf.Mean() / lbDef.Mean())
+			rSbLb.Add(sbInf.Mean() / lbInf.Mean())
+			rSbDefLbDef.Add(sbDef.Mean() / lbDef.Mean())
+			varS.Add(sbInf.VariationPct())
+			varL.Add(lbInf.VariationPct())
+			aInf.Add(lbInf.Mean())
+			aDef.Add(lbDef.Mean())
+			aSbInf.Add(sbInf.Mean())
+			aSbDef.Add(sbDef.Mean())
+			ctx.Logf("fig4omp: %s on %d cores done", b.Name, n)
+		}
+		t.AddRow(b.Name, rInfDef.Mean(), rSbLb.Mean(), rSbDefLbDef.Mean(), varS.Mean(), varL.Mean())
+	}
+	t.AddRow("all", aInf.Mean()/aDef.Mean(), aSbInf.Mean()/aInf.Mean(), aSbDef.Mean()/aDef.Mean(), "-", "-")
+	t.Note("DEF = KMP_BLOCKTIME 200 ms (spin then sleep); INF = poll forever; ratios < 1 favour the numerator")
+	return []*Table{t}
+}
+
+func runOmpS(ctx *Context) []*Table {
+	t := &Table{
+		Title: "OpenMP class S on Barcelona, 16 threads / 15 cores, interactive interference",
+		Columns: []string{"benchmark", "LB_DEF s", "LB_INF s", "SB_INF s",
+			"SB_INF vs LB_DEF %"},
+	}
+	// The paper measures class S dedicated on 16 cores, where its 45%
+	// comes from kernel-noise convoy effects at ~40 µs barriers that a
+	// clean simulator does not produce (see the note below). We recreate
+	// the spirit of the measurement — polling barriers plus speed
+	// balancing beating sleeping barriers plus Linux balancing when the
+	// machine is not perfectly quiet — with one core withheld and light
+	// interactive interference.
+	interfere := func(m *sim.Machine) {
+		m.AddActor(&competing.Interactive{Period: 20 * time.Millisecond, Burst: 2e6})
+	}
+	config := 6000
+	var impAll stats.Sample
+	for _, base := range []npb.Benchmark{npb.BT, npb.CG, npb.IS, npb.SP} {
+		b := npb.ClassS(base)
+		run := func(strat Strategy, model spmd.Model) *stats.Sample {
+			s := &stats.Sample{}
+			spec := ScaleSpec(ctx, b.Spec(16, model, cpuset.All(15)))
+			Repeat(ctx, config, RunOpts{
+				Topo: topo.Barcelona, Strategy: strat, Spec: spec, Setup: interfere,
+			}, func(_ int, r RunResult) { s.AddDuration(r.Elapsed) })
+			config++
+			return s
+		}
+		lbDef := run(StratLoad, spmd.OpenMPDefault())
+		lbInf := run(StratLoad, spmd.OpenMPInfinite())
+		sbInf := run(StratSpeed, spmd.OpenMPInfinite())
+		imp := sbInf.ImprovementPct(lbDef)
+		impAll.Add(imp)
+		t.AddRow(b.Name, lbDef.Mean(), lbInf.Mean(), sbInf.Mean(), imp)
+		ctx.Logf("ompS: %s done", b.Name)
+	}
+	t.AddRow("mean", "-", "-", "-", impAll.Mean())
+	t.Note("class S: 1/32 work per iteration, 8x iterations — synchronization dominates")
+	t.Note("paper deviation: the paper's dedicated-machine 45%% at 16/16 cores arises from kernel-noise convoy effects at tens-of-µs barriers that the clean simulator does not produce; measured parity (SPEED pays ~3%% sampling churn) is recorded as a negative result")
+	return []*Table{t}
+}

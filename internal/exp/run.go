@@ -1,0 +1,180 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cfs"
+	"repro/internal/dwrr"
+	"repro/internal/linuxlb"
+	"repro/internal/sim"
+	"repro/internal/speedbal"
+	"repro/internal/spmd"
+	"repro/internal/topo"
+	"repro/internal/ule"
+)
+
+// Strategy names a balancing configuration, matching the labels in the
+// paper's figures.
+type Strategy string
+
+const (
+	// StratPinned statically pins threads round-robin (the paper's
+	// PINNED; with threads == cores it is One-per-core).
+	StratPinned Strategy = "PINNED"
+	// StratLoad is default Linux: CFS per core plus the queue-length
+	// load balancer, OS fork placement.
+	StratLoad Strategy = "LOAD"
+	// StratSpeed is the paper's contribution: Linux plus the user-level
+	// speed balancer managing the application.
+	StratSpeed Strategy = "SPEED"
+	// StratDWRR replaces balancing with Distributed Weighted
+	// Round-Robin scheduling.
+	StratDWRR Strategy = "DWRR"
+	// StratULE is the FreeBSD 7.2 ULE push/pull balancer.
+	StratULE Strategy = "FreeBSD"
+)
+
+// RunOpts describes one measurement.
+type RunOpts struct {
+	// Topo builds the machine (fresh per run).
+	Topo func() *topo.Topology
+	// Strategy selects the balancing configuration.
+	Strategy Strategy
+	// Spec is the application (threads, work, barrier model, affinity).
+	Spec spmd.Spec
+	// Seed drives all randomness in the run.
+	Seed uint64
+	// SpeedCfg overrides the speed balancer configuration (ablations).
+	SpeedCfg *speedbal.Config
+	// LinuxCfg overrides the Linux balancer configuration.
+	LinuxCfg *linuxlb.Config
+	// Setup installs competing workload on the machine before the app
+	// starts (cpu-hog, make -j). May be nil.
+	Setup func(m *sim.Machine)
+	// Limit caps the simulated time (default 2000 s).
+	Limit time.Duration
+}
+
+// RunResult is the outcome of one measurement.
+type RunResult struct {
+	// Elapsed is the application's wall time.
+	Elapsed time.Duration
+	// Speedup is serial work / elapsed.
+	Speedup float64
+	// AppMigrations counts migrations of the app's threads.
+	AppMigrations int
+	// SpeedbalMigrations counts the speed balancer's pulls.
+	SpeedbalMigrations int
+	// Stats is the machine's counter snapshot.
+	Stats sim.Stats
+	// App is the finished application (thread exec times etc.).
+	App *spmd.App
+	// Machine allows further inspection.
+	Machine *sim.Machine
+}
+
+// Run executes one measurement.
+func Run(o RunOpts) RunResult {
+	tp := o.Topo()
+	cfg := sim.Config{Seed: o.Seed}
+	var dwrrG *dwrr.Global
+	if o.Strategy == StratDWRR {
+		cfg.NewScheduler, dwrrG = dwrr.NewFactory(dwrr.DefaultConfig())
+	} else {
+		cfg.NewScheduler = cfs.Factory()
+	}
+	m := sim.New(tp, cfg)
+
+	var sb *speedbal.Balancer
+	switch o.Strategy {
+	case StratPinned, StratLoad, StratSpeed:
+		lcfg := linuxlb.DefaultConfig()
+		if o.LinuxCfg != nil {
+			lcfg = *o.LinuxCfg
+		}
+		m.AddActor(linuxlb.New(lcfg))
+	case StratULE:
+		m.AddActor(ule.Default())
+	case StratDWRR:
+		// DWRR balances via round stealing inside the scheduler.
+	default:
+		panic(fmt.Sprintf("exp: unknown strategy %q", o.Strategy))
+	}
+
+	if o.Setup != nil {
+		o.Setup(m)
+	}
+
+	app := spmd.Build(m, o.Spec)
+	app.OnDone(func(*spmd.App) { m.Stop() })
+	switch o.Strategy {
+	case StratPinned:
+		app.StartPinned()
+	case StratSpeed:
+		scfg := speedbal.DefaultConfig()
+		if o.SpeedCfg != nil {
+			scfg = *o.SpeedCfg
+		}
+		sb = speedbal.New(scfg)
+		sb.Launch(m, app)
+	default:
+		app.Start()
+	}
+
+	limit := o.Limit
+	if limit == 0 {
+		limit = 2000 * time.Second
+	}
+	m.Run(int64(limit))
+
+	res := RunResult{
+		Elapsed: app.Elapsed(),
+		Speedup: app.Speedup(),
+		Stats:   m.Stats,
+		App:     app,
+		Machine: m,
+	}
+	for _, t := range app.Tasks {
+		res.AppMigrations += t.Migrations
+	}
+	if sb != nil {
+		res.SpeedbalMigrations = sb.Migrations
+	}
+	if dwrrG != nil {
+		res.Stats.Migrations["dwrr"] = dwrrG.Steals
+	}
+	if !app.Done() {
+		// Surface truncation loudly: experiments must size Limit.
+		res.Elapsed = limit
+		res.Speedup = 0
+	}
+	return res
+}
+
+// Repeat runs the configuration Reps times with derived seeds and calls
+// fn with each result.
+func Repeat(ctx *Context, config int, o RunOpts, fn func(rep int, r RunResult)) {
+	for rep := 0; rep < ctx.Reps; rep++ {
+		o.Seed = seedFor(ctx.Seed, config, rep)
+		fn(rep, Run(o))
+	}
+}
+
+// ScaleSpec shrinks a spec's iteration count by the context scale,
+// keeping at least one iteration (and for single-iteration EP-style
+// specs, shrinking the work instead).
+func ScaleSpec(ctx *Context, s spmd.Spec) spmd.Spec {
+	if ctx.Scale <= 1 {
+		return s
+	}
+	if s.Iterations > 1 {
+		s.Iterations /= ctx.Scale
+		if s.Iterations < 1 {
+			s.Iterations = 1
+		}
+	} else {
+		s.WorkPerIteration /= float64(ctx.Scale)
+	}
+	return s
+}

@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/topo"
+)
+
+func init() {
+	Register(&Experiment{
+		ID:       "table1",
+		Title:    "Test systems",
+		PaperRef: "Table 1",
+		Expect: "Tigerton: UMA quad-socket quad-core Intel Xeon E7310, 4 MB L2 per " +
+			"core pair, no L3. Barcelona: NUMA quad-socket quad-core AMD Opteron " +
+			"8350, 512 KB L2 per core, 2 MB L3 per socket.",
+		Run: runTable1,
+	})
+}
+
+func runTable1(ctx *Context) []*Table {
+	t := &Table{
+		Title:   "Simulated test systems",
+		Columns: []string{"property", "tigerton", "barcelona", "nehalem"},
+	}
+	machines := []*topo.Topology{topo.Tigerton(), topo.Barcelona(), topo.Nehalem()}
+	row := func(name string, f func(*topo.Topology) string) {
+		cells := []any{name}
+		for _, m := range machines {
+			cells = append(cells, f(m))
+		}
+		t.AddRow(cells...)
+	}
+	row("logical CPUs", func(m *topo.Topology) string { return fmt.Sprintf("%d", m.NumCores()) })
+	row("NUMA nodes", func(m *topo.Topology) string { return fmt.Sprintf("%d", m.NUMANodes) })
+	row("sched domains", func(m *topo.Topology) string {
+		s := ""
+		for i, l := range m.Levels {
+			if i > 0 {
+				s += "/"
+			}
+			s += fmt.Sprintf("%s(%d)", l.Name, l.Groups[0].Count())
+		}
+		return s
+	})
+	row("caches", func(m *topo.Topology) string {
+		seen := map[string]int{}
+		order := []string{}
+		for _, c := range m.Caches {
+			if _, ok := seen[c.Name]; !ok {
+				order = append(order, c.Name)
+			}
+			seen[c.Name]++
+		}
+		s := ""
+		for i, n := range order {
+			if i > 0 {
+				s += " "
+			}
+			var size int64
+			var cores int
+			for _, c := range m.Caches {
+				if c.Name == n {
+					size, cores = c.Size, c.Cores.Count()
+				}
+			}
+			s += fmt.Sprintf("%s:%dK/%dcores", n, size>>10, cores)
+		}
+		return s
+	})
+	row("mem capacity/socket", func(m *topo.Topology) string {
+		if len(m.MemDomains) == 0 {
+			return "inf"
+		}
+		return fmt.Sprintf("%.1f", m.MemDomains[0].Capacity)
+	})
+	row("remote-mem penalty", func(m *topo.Topology) string {
+		return fmt.Sprintf("%.2f", m.RemoteMemoryPenalty)
+	})
+	for _, m := range machines {
+		if err := m.Validate(); err != nil {
+			t.Note("VALIDATION FAILURE %s: %v", m.Name, err)
+		}
+	}
+	t.Note("memory capacity is in memory-core equivalents per socket (see topo.MemDomain); it is the calibrated stand-in for FSB vs on-die-controller bandwidth")
+	return []*Table{t}
+}

@@ -1,0 +1,415 @@
+// Package linuxlb models the Linux 2.6.28 scheduling-domain load
+// balancer — the paper's LOAD baseline and the second level (scheduling
+// in space) of the two-level design described in §2.
+//
+// The model reproduces the behaviours the paper's analysis rests on:
+//
+//   - Load is queue length (weighted by nice): threads that sched_yield
+//     still count; threads that sleep do not.
+//   - Balancing proceeds up a domain hierarchy, each level with its own
+//     busy/idle intervals and imbalance percentage.
+//   - Imbalance uses integer task-count arithmetic: a 3-vs-2 (or 2-vs-1)
+//     split is left alone, which is precisely why queue-length balancing
+//     caps an oversubscribed SPMD application at the speed of its
+//     slowest thread.
+//   - The running task is never pulled; cache-hot tasks (ran within
+//     ~5 ms) are resisted until repeated failures escalate, and as a
+//     last resort the migration thread performs an active push.
+//   - New-idle balancing pulls immediately when a core empties.
+//   - Fork placement chooses the idlest core using per-tick-stale load
+//     snapshots, so simultaneously forked threads clump (§2 footnote 1).
+package linuxlb
+
+import (
+	"time"
+
+	"repro/internal/cpuset"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/topo"
+	"repro/internal/xrand"
+)
+
+// Config tunes the balancer.
+type Config struct {
+	// Tick is the scheduler tick driving periodic balancing and load
+	// snapshots (10 ms on a 100 Hz server kernel).
+	Tick time.Duration
+	// CacheHot is the recency window within which a task is considered
+	// cache-hot and resisted (≈5 ms, §2).
+	CacheHot time.Duration
+	// MaxFailures is how many failed attempts at a level before
+	// cache-hot tasks are migrated anyway (typically between one and
+	// two, §2).
+	MaxFailures int
+	// ActiveBalance enables the migration-thread push of the running
+	// task after even cache-hot migration fails.
+	ActiveBalance bool
+	// StalePlacement makes fork placement use tick-stale load
+	// snapshots (the realistic default); accurate placement is an
+	// ablation.
+	StalePlacement bool
+}
+
+// DefaultConfig returns the 2.6.28-like defaults.
+func DefaultConfig() Config {
+	return Config{
+		Tick:           10 * time.Millisecond,
+		CacheHot:       5 * time.Millisecond,
+		MaxFailures:    2,
+		ActiveBalance:  true,
+		StalePlacement: true,
+	}
+}
+
+const nice0Weight = 1024
+
+// Balancer is the per-machine Linux load balancer actor.
+type Balancer struct {
+	cfg Config
+	m   *sim.Machine
+	rng *xrand.RNG
+
+	cores []*coreState
+
+	// Pulls / Pushes / ActivePushes count balancing actions for tests
+	// and experiment reporting.
+	Pulls, NewIdlePulls, ActivePushes int
+}
+
+type coreState struct {
+	// nextBalance is the next balancing time per domain level.
+	nextBalance []int64
+	// failed counts consecutive balance failures per level.
+	failed []int
+	// staleLoad is the queue length snapshot from the last tick, used
+	// by fork placement.
+	staleLoad int64
+}
+
+// New creates the balancer with the given configuration.
+func New(cfg Config) *Balancer { return &Balancer{cfg: cfg} }
+
+// Default creates the balancer with DefaultConfig.
+func Default() *Balancer { return New(DefaultConfig()) }
+
+// Start implements sim.Actor.
+func (b *Balancer) Start(m *sim.Machine) {
+	b.m = m
+	b.rng = m.RNG()
+	n := len(m.Cores)
+	b.cores = make([]*coreState, n)
+	for i := 0; i < n; i++ {
+		cs := &coreState{
+			nextBalance: make([]int64, len(m.Topo.Levels)),
+			failed:      make([]int, len(m.Topo.Levels)),
+		}
+		for li, l := range m.Topo.Levels {
+			cs.nextBalance[li] = int64(l.BusyInterval)
+		}
+		b.cores[i] = cs
+		// Stagger ticks across cores as real timer interrupts are.
+		off := b.rng.Jitter(int64(b.cfg.Tick))
+		core := m.Cores[i]
+		b.scheduleTick(core, m.Now()+off)
+	}
+	if b.cfg.StalePlacement {
+		m.SetPlacer(b)
+	}
+	m.OnIdle(b.newIdle)
+}
+
+func (b *Balancer) scheduleTick(c *sim.Core, at int64) {
+	b.m.At(at, func(now int64) {
+		b.tick(c, now)
+		b.scheduleTick(c, now+int64(b.cfg.Tick))
+	})
+}
+
+// tick is the per-core scheduler tick: refresh the load snapshot and run
+// due domain-level balancing.
+func (b *Balancer) tick(c *sim.Core, now int64) {
+	cs := b.cores[c.ID()]
+	cs.staleLoad = c.Scheduler().WeightedLoad()
+	idle := c.Idle()
+	for li := range b.m.Topo.Levels {
+		if now < cs.nextBalance[li] {
+			continue
+		}
+		l := &b.m.Topo.Levels[li]
+		if b.shouldBalance(c, li) {
+			b.balanceLevel(c, li, false)
+		}
+		iv := l.BusyInterval
+		if idle {
+			iv = l.IdleInterval
+		}
+		cs.nextBalance[li] = now + int64(iv)
+	}
+}
+
+// subgroups returns the child groups a balancing pass at level li
+// compares: the level-(li−1) groups inside the level-li span of core c,
+// or per-core singletons at the innermost level. This mirrors the kernel
+// structure where a domain's sched_groups are its child domains.
+func (b *Balancer) subgroups(c *sim.Core, li int) []cpuset.Set {
+	span := b.m.Topo.Levels[li].GroupOf(c.ID())
+	if li == 0 {
+		out := make([]cpuset.Set, 0, span.Count())
+		for _, id := range span.Cores() {
+			out = append(out, cpuset.Of(id))
+		}
+		return out
+	}
+	var out []cpuset.Set
+	for _, g := range b.m.Topo.Levels[li-1].Groups {
+		if span.Contains(g) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// shouldBalance gates balancing at a level to one core per child group:
+// the first idle core of the local subgroup, or its first core when none
+// is idle (Linux's should_we_balance).
+func (b *Balancer) shouldBalance(c *sim.Core, li int) bool {
+	for _, g := range b.subgroups(c, li) {
+		if !g.Has(c.ID()) {
+			continue
+		}
+		for _, id := range g.Cores() {
+			if b.m.Cores[id].Idle() {
+				return id == c.ID()
+			}
+		}
+		return g.First() == c.ID()
+	}
+	return true
+}
+
+// balanceLevel runs one load_balance pass pulling toward core c at
+// domain level li. newIdle relaxes it to "grab one task from any queue
+// with more than one".
+func (b *Balancer) balanceLevel(c *sim.Core, li int, newIdle bool) bool {
+	cs := b.cores[c.ID()]
+	groups := b.subgroups(c, li)
+
+	imbalance, busiestGroup := b.imbalance(c, groups, int64(b.m.Topo.Levels[li].ImbalancePct), newIdle)
+	if imbalance <= 0 {
+		cs.failed[li] = 0
+		return false
+	}
+	busiest := b.findBusiestQueue(c, busiestGroup, newIdle)
+	if busiest == nil {
+		cs.failed[li] = 0
+		return false
+	}
+	moved := b.moveTasks(busiest, c, imbalance, cs.failed[li] > b.cfg.MaxFailures)
+	if moved > 0 {
+		cs.failed[li] = 0
+		if newIdle {
+			b.NewIdlePulls++
+		} else {
+			b.Pulls++
+		}
+		return true
+	}
+	if newIdle {
+		return false
+	}
+	cs.failed[li]++
+	if cs.failed[li] > b.cfg.MaxFailures+1 && b.cfg.ActiveBalance {
+		// Wake the migration thread: push the busiest core's running
+		// task to an idle core in the domain (active_load_balance).
+		b.activeBalance(busiest, li)
+		cs.failed[li] = 0
+	}
+	return false
+}
+
+// groupLoad sums the weighted queue loads of the group's cores.
+func (b *Balancer) groupLoad(g cpuset.Set) (load int64, ncores int64) {
+	for _, id := range g.Cores() {
+		load += b.m.Cores[id].Scheduler().WeightedLoad()
+		ncores++
+	}
+	return load, ncores
+}
+
+// imbalance computes the load amount (in weight units) that should move
+// into the local subgroup and the busiest subgroup it should come from.
+// This is the integer arithmetic at the core of the paper's critique:
+// for equal-weight tasks split 3-vs-2 it yields 0.
+func (b *Balancer) imbalance(c *sim.Core, groups []cpuset.Set, imbPct int64, newIdle bool) (int64, cpuset.Set) {
+	var localAvg, maxAvg int64
+	var totalLoad, totalN int64
+	var busiest cpuset.Set
+	localN := int64(1)
+	for _, g := range groups {
+		load, n := b.groupLoad(g)
+		totalLoad += load
+		totalN += n
+		if g.Has(c.ID()) {
+			localAvg = load / n
+			localN = n
+			continue
+		}
+		if a := load / n; a > maxAvg {
+			maxAvg = a
+			busiest = g
+		}
+	}
+	_ = localN
+	if busiest.Empty() || totalN == 0 {
+		return 0, busiest
+	}
+	if newIdle {
+		if maxAvg > localAvg {
+			return nice0Weight, busiest
+		}
+		return 0, busiest
+	}
+	domainAvg := totalLoad / totalN
+	// Busiest group must exceed the local one by the imbalance pct.
+	if maxAvg*100 <= localAvg*imbPct {
+		return 0, busiest
+	}
+	if maxAvg <= domainAvg {
+		return 0, busiest
+	}
+	imb := maxAvg - domainAvg
+	if d := domainAvg - localAvg; d < imb {
+		imb = d
+	}
+	if imb < nice0Weight {
+		// fix_small_imbalance: move a single task only when the gap is
+		// at least two tasks' worth — moving one out of a 3-vs-2 split
+		// would not improve the balance.
+		if maxAvg-localAvg >= 2*nice0Weight {
+			return nice0Weight, busiest
+		}
+		// An entirely idle local group may always take one task
+		// (CPU_IDLE balancing); when the only candidate is the remote
+		// core's running task, the repeated failures escalate to the
+		// active-balance push.
+		if localAvg == 0 {
+			return nice0Weight, busiest
+		}
+		return 0, busiest
+	}
+	return imb, busiest
+}
+
+// findBusiestQueue returns the most loaded core of the busiest subgroup.
+func (b *Balancer) findBusiestQueue(c *sim.Core, group cpuset.Set, newIdle bool) *sim.Core {
+	var busiest *sim.Core
+	var maxLoad int64
+	for _, id := range group.Cores() {
+		if id == c.ID() {
+			continue
+		}
+		o := b.m.Cores[id]
+		load := o.Scheduler().WeightedLoad()
+		if newIdle && o.NrRunnable() < 2 {
+			continue
+		}
+		if load > maxLoad {
+			busiest, maxLoad = o, load
+		}
+	}
+	return busiest
+}
+
+// moveTasks pulls up to `amount` of weighted load from src to dst,
+// skipping the running task and (unless force) cache-hot tasks and
+// respecting affinity. Returns the number of tasks moved.
+func (b *Balancer) moveTasks(src, dst *sim.Core, amount int64, force bool) int {
+	moved := 0
+	now := b.m.Now()
+	for amount > 0 {
+		var pick *task.Task
+		for _, t := range src.Queued() {
+			if !t.Affinity.Has(dst.ID()) {
+				continue
+			}
+			if t.Sched.Weight > amount && moved > 0 {
+				continue
+			}
+			hot := now-t.LastRanAt < int64(b.cfg.CacheHot) &&
+				b.m.Topo.Distance(src.ID(), dst.ID()) > topo.DistSMT
+			if hot && !force {
+				continue
+			}
+			pick = t
+			break
+		}
+		if pick == nil {
+			break
+		}
+		amount -= pick.Sched.Weight
+		b.m.Migrate(pick, dst.ID(), "linuxlb")
+		moved++
+	}
+	return moved
+}
+
+// activeBalance pushes the running task of the busiest core to the
+// least loaded core in the domain span, as the kernel migration thread
+// does when normal balancing keeps failing.
+func (b *Balancer) activeBalance(busiest *sim.Core, li int) {
+	t := busiest.Current()
+	if t == nil {
+		return
+	}
+	span := b.m.Topo.Levels[li].GroupOf(busiest.ID())
+	var target *sim.Core
+	var minLoad int64
+	for _, id := range span.Cores() {
+		if id == busiest.ID() || !t.Affinity.Has(id) {
+			continue
+		}
+		o := b.m.Cores[id]
+		load := o.Scheduler().WeightedLoad()
+		if target == nil || load < minLoad {
+			target, minLoad = o, load
+		}
+	}
+	if target == nil || minLoad+2*nice0Weight > busiest.Scheduler().WeightedLoad() {
+		return
+	}
+	b.ActivePushes++
+	b.m.MigrateNow(t, target.ID(), "linuxlb-active")
+}
+
+// newIdle is the SD_BALANCE_NEWIDLE hook: a core that just emptied pulls
+// one task, walking levels innermost first.
+func (b *Balancer) newIdle(c *sim.Core) {
+	for li := range b.m.Topo.Levels {
+		l := &b.m.Topo.Levels[li]
+		if !l.NewIdle {
+			continue
+		}
+		if b.balanceLevel(c, li, true) {
+			return
+		}
+	}
+}
+
+// Place implements sim.Placer using the tick-stale load snapshots: the
+// idlest allowed core as of the last tick. Threads forked between two
+// ticks all see the same snapshot and clump onto the same "idle" cores —
+// the start-up behaviour the paper's §2 footnote describes.
+func (b *Balancer) Place(m *sim.Machine, t *task.Task) int {
+	best, bestLoad := -1, int64(0)
+	for _, c := range m.Cores {
+		if !t.Affinity.Has(c.ID()) {
+			continue
+		}
+		l := b.cores[c.ID()].staleLoad
+		if best == -1 || l < bestLoad {
+			best, bestLoad = c.ID(), l
+		}
+	}
+	return best
+}

@@ -1,0 +1,191 @@
+// Package model implements the paper's analytic argument for speed
+// balancing (§4): Lemma 1 and the profitability threshold plotted in
+// Figure 1.
+//
+// Setting: N threads of an SPMD application on M homogeneous cores,
+// N > M, T = ⌊N/M⌋ threads per core. FQ cores ("fast") hold T threads
+// and SQ cores ("slow") hold T+1. Threads compute for S between
+// synchronization points; balancing runs every B. Lemma 1: the number of
+// balancing steps needed so that every thread has run on a fast core at
+// least once is bounded by 2·⌈SQ/FQ⌉, so speed balancing is profitable
+// when the total program time exceeds that many balancing intervals:
+//
+//	(T+1)·S  >  2·⌈SQ/FQ⌉·B
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Split describes the thread distribution for N threads on M cores.
+type Split struct {
+	N, M int
+	// T is ⌊N/M⌋, the thread count of a fast core.
+	T int
+	// FQ is the number of fast cores (T threads each).
+	FQ int
+	// SQ is the number of slow cores (T+1 threads each).
+	SQ int
+}
+
+// NewSplit computes the distribution. It panics unless N > M ≥ 1.
+func NewSplit(n, m int) Split {
+	if m < 1 || n <= m {
+		panic(fmt.Sprintf("model: need N > M ≥ 1, got N=%d M=%d", n, m))
+	}
+	t := n / m
+	sq := n % m
+	return Split{N: n, M: m, T: t, FQ: m - sq, SQ: sq}
+}
+
+// Balanced reports whether the threads divide evenly (SQ == 0), in which
+// case balancing has nothing to do.
+func (s Split) Balanced() bool { return s.SQ == 0 }
+
+// StepsBound returns Lemma 1's bound on the balancing steps needed for
+// every thread to run on a fast core at least once: 2·⌈SQ/FQ⌉ (2 when
+// FQ ≥ SQ).
+func (s Split) StepsBound() int {
+	if s.Balanced() {
+		return 0
+	}
+	return 2 * int(math.Ceil(float64(s.SQ)/float64(s.FQ)))
+}
+
+// MinS returns the minimum inter-synchronization compute time S (in
+// units of the balancing interval B) for which speed balancing is
+// expected to beat queue-length balancing:
+//
+//	S > 2·⌈SQ/FQ⌉·B / (T+1)
+//
+// This is the quantity plotted in Figure 1 (B = 1 time unit). A zero
+// result means any granularity profits (already balanced ⇒ no
+// constraint, reported as 0).
+func (s Split) MinS() float64 {
+	if s.Balanced() {
+		return 0
+	}
+	return float64(s.StepsBound()) / float64(s.T+1)
+}
+
+// LinuxSpeed returns the per-thread application speed under queue-length
+// balancing: the speed of the slowest thread, 1/(T+1) (§4).
+func (s Split) LinuxSpeed() float64 { return 1 / float64(s.T+1) }
+
+// IdealSpeed returns the asymptotic per-thread speed under perfect speed
+// balancing: (2T+1) / (2T(T+1)) — each thread spends equal time on fast
+// (1/T) and slow (1/(T+1)) cores (§4).
+func (s Split) IdealSpeed() float64 {
+	t := float64(s.T)
+	return (2*t + 1) / (2 * t * (t + 1))
+}
+
+// MaxSpeedup returns the bound on speed balancing's improvement over
+// queue-length balancing: 1 + 1/(2T) (§4).
+func (s Split) MaxSpeedup() float64 { return s.IdealSpeed() / s.LinuxSpeed() }
+
+// Figure1 computes the Figure 1 surface: for every core count in
+// [2, maxCores] and thread count in (cores, maxThreads], the minimum S
+// (B = 1). Entries where threads divide evenly are 0. The returned
+// matrix is indexed [cores-2][threads-cores-1].
+func Figure1(maxCores, maxThreads int) [][]float64 {
+	var out [][]float64
+	for m := 2; m <= maxCores; m++ {
+		var row []float64
+		for n := m + 1; n <= maxThreads; n++ {
+			row = append(row, NewSplit(n, m).MinS())
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// SimulateSteps runs the abstract balancing process of Lemma 1's proof
+// and returns the number of migrations (balancing steps) until every
+// thread has run on a fast core at least once — a brute-force check
+// that the closed-form bound holds.
+//
+// Each round, threads resident on fast queues (length T) are credited
+// with a fast interval; then one thread is pulled from a slow queue
+// holding uncredited threads onto a fast queue, flipping both queues'
+// roles. As in the proof, the thread pulled is "a different thread"
+// when possible — one already credited — so that the uncredited threads
+// are left behind on the queue that just became fast.
+func SimulateSteps(s Split) int {
+	if s.Balanced() {
+		return 0
+	}
+	// lengths[i] = threads on queue i; fast ⇔ length == T.
+	// pending[i] = threads on queue i not yet credited.
+	lengths := make([]int, s.M)
+	pending := make([]int, s.M)
+	for i := 0; i < s.M; i++ {
+		if i < s.FQ {
+			lengths[i] = s.T
+		} else {
+			lengths[i] = s.T + 1
+		}
+		pending[i] = lengths[i]
+	}
+	remaining := s.N
+	credit := func() {
+		for i := range lengths {
+			if lengths[i] == s.T && pending[i] > 0 {
+				remaining -= pending[i]
+				pending[i] = 0
+			}
+		}
+	}
+	// The initial interval before balancing starts (the paper notes
+	// balancing can begin after T+1 quanta): the FQ·T threads that
+	// started on fast queues run fast.
+	credit()
+	steps := 0
+	guard := 4 * (s.N + s.M) // safety net: the bound is far below this
+	for remaining > 0 && steps <= guard {
+		steps++
+		// One distributed balancing step: every fast queue's balancer
+		// pulls one thread from a distinct slow queue that still holds
+		// uncredited threads — preferring to move an already-credited
+		// thread so the uncredited ones are left behind on the queue
+		// that just became fast.
+		var dsts, srcs []int
+		used := make(map[int]bool, s.M)
+		for i := range lengths {
+			if lengths[i] == s.T {
+				dsts = append(dsts, i)
+			}
+		}
+		for _, dst := range dsts {
+			src := -1
+			for i := range lengths {
+				if used[i] || lengths[i] != s.T+1 || pending[i] == 0 {
+					continue
+				}
+				if src == -1 || pending[src] == lengths[src] && pending[i] < lengths[i] {
+					src = i
+				}
+			}
+			if src == -1 {
+				break
+			}
+			used[src] = true
+			srcs = append(srcs, src)
+			if pending[src] == lengths[src] {
+				// Only uncredited threads here: one carries its
+				// pending status to the destination (now slow).
+				pending[src]--
+				pending[dst]++
+			}
+			lengths[src]--
+			lengths[dst]++
+		}
+		if len(srcs) == 0 {
+			break // no eligible source: all pending queues exhausted
+		}
+		// The interval after this round's migrations.
+		credit()
+	}
+	return steps
+}

@@ -1,0 +1,144 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSplit(t *testing.T) {
+	s := NewSplit(17, 16)
+	if s.T != 1 || s.SQ != 1 || s.FQ != 15 {
+		t.Errorf("17/16: %+v", s)
+	}
+	s = NewSplit(3, 2)
+	if s.T != 1 || s.SQ != 1 || s.FQ != 1 {
+		t.Errorf("3/2: %+v", s)
+	}
+	s = NewSplit(32, 16)
+	if !s.Balanced() || s.T != 2 {
+		t.Errorf("32/16: %+v", s)
+	}
+}
+
+func TestNewSplitPanics(t *testing.T) {
+	for _, c := range [][2]int{{2, 2}, {1, 2}, {5, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for N=%d M=%d", c[0], c[1])
+				}
+			}()
+			NewSplit(c[0], c[1])
+		}()
+	}
+}
+
+// The §4 closed forms for the paper's running example (3 threads, 2
+// cores, T=1): Linux speed 1/2, ideal 3/4, max speedup 1.5x.
+func TestSpeedFormulas(t *testing.T) {
+	s := NewSplit(3, 2)
+	if got := s.LinuxSpeed(); got != 0.5 {
+		t.Errorf("LinuxSpeed = %v", got)
+	}
+	if got := s.IdealSpeed(); got != 0.75 {
+		t.Errorf("IdealSpeed = %v", got)
+	}
+	if got := s.MaxSpeedup(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("MaxSpeedup = %v", got)
+	}
+	// General form 1 + 1/(2T).
+	for _, c := range [][2]int{{5, 4}, {9, 4}, {33, 16}} {
+		s := NewSplit(c[0], c[1])
+		want := 1 + 1/(2*float64(s.T))
+		if got := s.MaxSpeedup(); math.Abs(got-want) > 1e-12 {
+			t.Errorf("N=%d M=%d MaxSpeedup = %v, want %v", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestStepsBound(t *testing.T) {
+	cases := []struct {
+		n, m, want int
+	}{
+		{3, 2, 2},   // SQ=1 FQ=1
+		{17, 16, 2}, // SQ=1 FQ=15
+		{31, 16, 2}, // SQ=15 FQ=1? No: T=1, SQ=15, FQ=1: 2*15=30
+		{5, 4, 2},   // SQ=1 FQ=3
+		{7, 4, 6},   // SQ=3 FQ=1
+		{32, 16, 0}, // balanced
+	}
+	cases[2].want = 30
+	for _, c := range cases {
+		s := NewSplit(c.n, c.m)
+		if got := s.StepsBound(); got != c.want {
+			t.Errorf("StepsBound(%d,%d) = %d, want %d", c.n, c.m, got, c.want)
+		}
+	}
+}
+
+// Figure 1 monotonicity: for fixed cores, more threads relaxes MinS;
+// for the diagonal, fewer fast cores raises it.
+func TestMinSShape(t *testing.T) {
+	// Fixed M=16: N=17 (T=1) vs N=33 (T=2) vs N=65 (T=4).
+	prev := math.Inf(1)
+	for _, n := range []int{17, 33, 65} {
+		v := NewSplit(n, 16).MinS()
+		if v > prev {
+			t.Errorf("MinS not decreasing with threads: %v after %v", v, prev)
+		}
+		prev = v
+	}
+	// Worst case on the diagonal: N = 2M-1 gives SQ=M-1, FQ=1.
+	if v := NewSplit(199, 100).MinS(); v != 99 {
+		t.Errorf("diagonal MinS = %v, want 99", v)
+	}
+}
+
+func TestFigure1Dimensions(t *testing.T) {
+	f := Figure1(10, 20)
+	if len(f) != 9 { // cores 2..10
+		t.Fatalf("rows = %d", len(f))
+	}
+	for i, row := range f {
+		m := i + 2
+		if want := 20 - m; len(row) != want {
+			t.Errorf("cores=%d: %d entries, want %d", m, len(row), want)
+		}
+	}
+}
+
+// Lemma 1 (property): the simulated distributed balancing always
+// satisfies the necessity condition within the closed-form bound.
+func TestPropertyLemma1Bound(t *testing.T) {
+	f := func(nRaw, mRaw uint8) bool {
+		m := int(mRaw%63) + 2
+		n := m + 1 + int(nRaw)%(3*m)
+		s := NewSplit(n, m)
+		if s.Balanced() {
+			return true
+		}
+		return SimulateSteps(s) <= s.StepsBound()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The bound is tight somewhere: at least one split needs exactly the
+// bound.
+func TestBoundTightness(t *testing.T) {
+	tight := false
+	for m := 2; m <= 20 && !tight; m++ {
+		for n := m + 1; n < 2*m; n++ {
+			s := NewSplit(n, m)
+			if SimulateSteps(s) == s.StepsBound() {
+				tight = true
+				break
+			}
+		}
+	}
+	if !tight {
+		t.Error("bound never attained on small splits; it may be misstated")
+	}
+}

@@ -1,0 +1,55 @@
+package npb
+
+// Calibration derivation (see Table 2 of the paper and DESIGN.md §6).
+//
+// The simulator's memory model gives a task of memory intensity m, on a
+// socket whose memory path has capacity C shared by k running tasks of
+// the same intensity, a per-core efficiency of
+//
+//	f = 1 − m + m·min(1, C/(k·m))
+//
+// Serial runs have k=1 and m ≤ C, so f=1: the serial baseline is
+// unaffected. A 16-thread run on 16 cores places 4 threads per socket
+// (k=4), so
+//
+//	f16 = 1 − m + C/4      (whenever 4m > C)
+//
+// and the 16-core speedup is 16·f16. With Tigerton C=1.0 and Barcelona
+// C=2.4 we solve for m from the Tigerton speedups in Table 2 and check
+// the Barcelona prediction:
+//
+//	bench   speedup(T)  m       predicted speedup(B)  Table 2 (B)
+//	bt.A    4.6         0.96    16·(0.04+0.6) = 10.2  10.0
+//	ft.B    5.3         0.92    16·(0.08+0.6) = 10.9  10.5
+//	is.C    4.8         0.95    16·(0.05+0.6) = 10.4   8.4  (†)
+//	sp.A    7.2         0.80    16·(0.20+0.6) = 12.8  12.4
+//	ep.C   ~16          0       16                    ~16
+//
+// (†) is.C under-performs the bandwidth model on Barcelona because the
+// real integer sort's all-to-all key exchange stresses the inter-socket
+// HyperTransport links, which we do not model separately. The deviation
+// is recorded in EXPERIMENTS.md; it does not affect any balancer
+// comparison (all balancers see the same substrate).
+//
+// Work per iteration W is set from the 16-core inter-barrier times in
+// Table 2: the inter-barrier wall time on Tigerton is W/f16, so e.g.
+// ft.B with a ~100 ms inter-barrier target and f16=0.33 gives W=33 ms.
+// Iteration counts place the 16-core run times inside the paper's
+// [2 s, 80 s] band.
+
+import "time"
+
+// InterBarrierTime predicts the benchmark's inter-barrier wall time for
+// a one-thread-per-core 16-core run on sockets of 4 cores with the given
+// per-socket memory capacity — the closed form used to pick the
+// calibration constants, exported for the table2 experiment to print
+// next to measured values.
+func (b Benchmark) InterBarrierTime(capacity float64) time.Duration {
+	m := b.MemIntensity
+	f := 1.0
+	k := 4.0 * m // 4 busy cores per socket
+	if m > 0 && k > capacity {
+		f = 1 - m + m*capacity/k
+	}
+	return time.Duration(b.WorkPerIteration / f)
+}

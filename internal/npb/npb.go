@@ -1,0 +1,164 @@
+// Package npb provides models of the NAS Parallel Benchmarks used in the
+// paper's evaluation (§6, Table 2): SPMD compute/barrier loops whose
+// parameters — work per iteration, iteration count, resident set size
+// and memory intensity — are calibrated so that, on the simulated
+// machines, the 16-core inter-barrier times, speedups and run-time band
+// match what Table 2 reports for the real benchmarks.
+//
+// The balancers under study observe only what these models expose:
+// compute phases, barrier waits (with the programming model's wait
+// policy), run-queue membership, memory footprint (migration cost) and
+// memory intensity (bandwidth and NUMA effects). See calibrate.go for
+// the derivation of each constant.
+package npb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cpuset"
+	"repro/internal/sim"
+	"repro/internal/spmd"
+)
+
+// Benchmark describes one NAS kernel/application model.
+type Benchmark struct {
+	// Name is the NAS name with class, e.g. "ep.C".
+	Name string
+	// WorkPerIteration is per-thread work between barriers in
+	// speed-1.0 nanoseconds.
+	WorkPerIteration float64
+	// Iterations is the number of compute+barrier rounds.
+	Iterations int
+	// RSSPerThread is the per-thread resident set in bytes (Table 2's
+	// RSS column divided across 16 threads).
+	RSSPerThread int64
+	// MemIntensity in [0,1]: fraction of execution bound by the memory
+	// system (drives bandwidth contention and NUMA penalties).
+	MemIntensity float64
+	// WorkJitter models data-dependent per-iteration imbalance
+	// (irregular benchmarks have more).
+	WorkJitter float64
+}
+
+// Spec instantiates the benchmark as an SPMD application spec with the
+// given thread count, programming model and core restriction.
+func (b Benchmark) Spec(threads int, model spmd.Model, affinity cpuset.Set) spmd.Spec {
+	return spmd.Spec{
+		Name:             b.Name,
+		Threads:          threads,
+		Iterations:       b.Iterations,
+		WorkPerIteration: b.WorkPerIteration,
+		WorkJitter:       b.WorkJitter,
+		Model:            model,
+		RSSBytes:         b.RSSPerThread,
+		MemIntensity:     b.MemIntensity,
+		Affinity:         affinity,
+	}
+}
+
+// Build is sugar for spmd.Build(m, b.Spec(...)).
+func (b Benchmark) Build(m *sim.Machine, threads int, model spmd.Model, affinity cpuset.Set) *spmd.App {
+	return spmd.Build(m, b.Spec(threads, model, affinity))
+}
+
+// The benchmark suite. Calibration constants are derived in
+// calibrate.go; see also DESIGN.md §6.
+var (
+	// EP (embarrassingly parallel, class C): one long compute phase and
+	// a single final barrier — "negligible memory, no synchronization"
+	// (§6.1). The headline Figure 3 benchmark.
+	EP = Benchmark{
+		Name:             "ep.C",
+		WorkPerIteration: 6e9, // 6 s per thread at speed 1
+		Iterations:       1,
+		RSSPerThread:     2 << 20,
+		MemIntensity:     0,
+	}
+
+	// BT (block tridiagonal, class A): moderate footprint, ~10 ms
+	// barriers, strongly memory bound on Tigerton (speedup 4.6).
+	BT = Benchmark{
+		Name:             "bt.A",
+		WorkPerIteration: 2.9e6,
+		Iterations:       400,
+		RSSPerThread:     25 << 20, // 0.4 GB / 16
+		MemIntensity:     0.96,
+		WorkJitter:       0.02,
+	}
+
+	// FT (3-D FFT, class B): the largest footprint (5.6 GB) and the
+	// coarsest barriers (~73–206 ms) in the suite.
+	FT = Benchmark{
+		Name:             "ft.B",
+		WorkPerIteration: 33e6,
+		Iterations:       150,
+		RSSPerThread:     350 << 20,
+		MemIntensity:     0.92,
+		WorkJitter:       0.02,
+	}
+
+	// IS (integer sort, class C): irregular all-to-all communication,
+	// ~44–63 ms barriers, poor Barcelona scaling (8.4).
+	IS = Benchmark{
+		Name:             "is.C",
+		WorkPerIteration: 13e6,
+		Iterations:       100,
+		RSSPerThread:     194 << 20, // 3.1 GB / 16
+		MemIntensity:     0.95,
+		WorkJitter:       0.08,
+	}
+
+	// SP (scalar pentadiagonal, class A): tiny footprint, very fine
+	// ~2 ms barriers — the fine-grain end of the Lemma 1 spectrum.
+	SP = Benchmark{
+		Name:             "sp.A",
+		WorkPerIteration: 0.9e6,
+		Iterations:       2000,
+		RSSPerThread:     6 << 20, // 0.1 GB / 16
+		MemIntensity:     0.80,
+		WorkJitter:       0.02,
+	}
+
+	// CG (conjugate gradient, class B): "performs barrier
+	// synchronization every 4 ms" (§6.2).
+	CG = Benchmark{
+		Name:             "cg.B",
+		WorkPerIteration: 1.4e6,
+		Iterations:       1500,
+		RSSPerThread:     100 << 20,
+		MemIntensity:     0.90,
+		WorkJitter:       0.04,
+	}
+)
+
+// Suite returns the benchmarks of the combined workload (Figure 4 /
+// Table 3) in a stable order.
+func Suite() []Benchmark {
+	s := []Benchmark{BT, CG, EP, FT, IS, SP}
+	sort.Slice(s, func(i, j int) bool { return s[i].Name < s[j].Name })
+	return s
+}
+
+// ByName returns the benchmark with the given name.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range Suite() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("npb: unknown benchmark %q", name)
+}
+
+// ClassS returns a barrier-dominated class-S variant of the benchmark:
+// 1/32 of the work per iteration but 8× the iterations, so runs last
+// long enough to balance while synchronization overhead dominates. The
+// paper uses class S runs to stress barrier behaviour (§6.4).
+func ClassS(b Benchmark) Benchmark {
+	s := b
+	s.Name = b.Name[:len(b.Name)-1] + "S"
+	s.WorkPerIteration = b.WorkPerIteration / 32
+	s.Iterations = b.Iterations * 8
+	s.RSSPerThread = b.RSSPerThread / 16
+	return s
+}

@@ -1,0 +1,130 @@
+package npb_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cfs"
+	"repro/internal/cpuset"
+	"repro/internal/npb"
+	"repro/internal/sim"
+	"repro/internal/spmd"
+	"repro/internal/topo"
+)
+
+func TestSuiteStable(t *testing.T) {
+	s := npb.Suite()
+	if len(s) != 6 {
+		t.Fatalf("suite size %d", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i-1].Name >= s[i].Name {
+			t.Errorf("suite not sorted at %d: %s ≥ %s", i, s[i-1].Name, s[i].Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := npb.ByName("ft.B")
+	if err != nil || b.Name != "ft.B" {
+		t.Errorf("ByName(ft.B) = %v, %v", b.Name, err)
+	}
+	if _, err := npb.ByName("lu.A"); err == nil {
+		t.Error("unknown benchmark found")
+	}
+}
+
+// Calibration sanity: each benchmark's parameters are positive, memory
+// intensity in [0,1], and the suite spans fine (sp ~2 ms) to coarse
+// (ft ~100 ms) barrier granularity as in Table 2.
+func TestCalibrationRanges(t *testing.T) {
+	for _, b := range npb.Suite() {
+		if b.WorkPerIteration <= 0 || b.Iterations < 1 || b.RSSPerThread <= 0 {
+			t.Errorf("%s: non-positive parameters %+v", b.Name, b)
+		}
+		if b.MemIntensity < 0 || b.MemIntensity > 1 {
+			t.Errorf("%s: mem intensity %v", b.Name, b.MemIntensity)
+		}
+	}
+	sp, _ := npb.ByName("sp.A")
+	ft, _ := npb.ByName("ft.B")
+	if spT := sp.InterBarrierTime(1.0); spT < time.Millisecond || spT > 4*time.Millisecond {
+		t.Errorf("sp.A inter-barrier %v, want ≈ 2ms", spT)
+	}
+	if ftT := ft.InterBarrierTime(1.0); ftT < 70*time.Millisecond || ftT > 130*time.Millisecond {
+		t.Errorf("ft.B inter-barrier %v, want ≈ 100ms", ftT)
+	}
+}
+
+// The closed-form speedup predictions match Table 2 within ~10%.
+func TestClosedFormSpeedups(t *testing.T) {
+	paper := map[string][2]float64{ // Tigerton, Barcelona
+		"bt.A": {4.6, 10.0},
+		"ft.B": {5.3, 10.5},
+		"sp.A": {7.2, 12.4},
+	}
+	for name, want := range paper {
+		b, _ := npb.ByName(name)
+		m := b.MemIntensity
+		fT := 1 - m + 1.0/4
+		fB := 1 - m + 2.4/4
+		if gotT := 16 * fT; gotT < want[0]*0.9 || gotT > want[0]*1.1 {
+			t.Errorf("%s Tigerton prediction %.1f, paper %.1f", name, gotT, want[0])
+		}
+		if gotB := 16 * fB; gotB < want[1]*0.88 || gotB > want[1]*1.12 {
+			t.Errorf("%s Barcelona prediction %.1f, paper %.1f", name, gotB, want[1])
+		}
+	}
+}
+
+// End-to-end calibration: a 16-thread one-per-core ep.C run scales
+// perfectly; ft.B saturates the FSB near its Table 2 speedup.
+func TestMeasuredSpeedups(t *testing.T) {
+	run := func(b npb.Benchmark, scale int) float64 {
+		m := sim.New(topo.Tigerton(), sim.Config{Seed: 1, NewScheduler: cfs.Factory()})
+		spec := b.Spec(16, spmd.UPC(), cpuset.All(16))
+		spec.Iterations /= scale
+		if spec.Iterations < 1 {
+			spec.Iterations = 1
+		}
+		if spec.Iterations == 1 && b.Iterations == 1 {
+			spec.WorkPerIteration /= float64(scale)
+		}
+		app := spmd.Build(m, spec)
+		app.StartPinned()
+		m.Run(int64(10 * time.Minute))
+		if !app.Done() {
+			t.Fatalf("%s did not finish", b.Name)
+		}
+		return app.Speedup()
+	}
+	if sp := run(npb.EP, 8); sp < 15.5 {
+		t.Errorf("ep.C speedup %v, want ≈ 16", sp)
+	}
+	if sp := run(npb.FT, 8); sp < 4.7 || sp > 5.9 {
+		t.Errorf("ft.B speedup %v, want ≈ 5.3 (Table 2)", sp)
+	}
+}
+
+func TestClassS(t *testing.T) {
+	s := npb.ClassS(npb.CG)
+	if s.Name != "cg.S" {
+		t.Errorf("class S name %q", s.Name)
+	}
+	if s.WorkPerIteration >= npb.CG.WorkPerIteration/16 {
+		t.Error("class S work not shrunk enough")
+	}
+	if s.Iterations < 1 {
+		t.Error("class S iterations < 1")
+	}
+}
+
+func TestSpecWiring(t *testing.T) {
+	spec := npb.IS.Spec(8, spmd.UPCSleep(), cpuset.All(4))
+	if spec.Threads != 8 || spec.Model.Name != "upc-sleep" || spec.Affinity != cpuset.All(4) {
+		t.Errorf("spec wiring: %+v", spec)
+	}
+	if spec.RSSBytes != npb.IS.RSSPerThread || spec.MemIntensity != npb.IS.MemIntensity {
+		t.Error("spec does not carry benchmark memory parameters")
+	}
+}

@@ -1,0 +1,453 @@
+package sim
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/task"
+	"repro/internal/topo"
+)
+
+// Core is one logical CPU of the machine. At most one task runs on a
+// core at a time; the core's Scheduler decides which.
+type Core struct {
+	id   int
+	info *topo.CoreInfo
+	m    *Machine
+
+	sched Scheduler
+	cur   *task.Task
+	// runStart is when the current task's un-accounted stint began.
+	runStart int64
+	// sliceEnd is when the current task's CFS timeslice expires.
+	sliceEnd int64
+	// gen invalidates stale stop events: every (re)schedule bumps it.
+	gen uint64
+	// needResched forces the next scheduleStop to fire immediately
+	// (wakeup preemption, release of a running waiter).
+	needResched bool
+	inDispatch  bool
+
+	idle      bool
+	idleSince int64
+	lastRun   *task.Task
+	// memDomain is the index of the core's memory-bandwidth domain in
+	// Topo.MemDomains, -1 when no contention model is configured.
+	memDomain int
+
+	// BusyTime and IdleTime accumulate the core's utilisation.
+	BusyTime time.Duration
+	idleTime time.Duration
+}
+
+// ID returns the core's logical CPU number.
+func (c *Core) ID() int { return c.id }
+
+// Info returns the core's static topology description.
+func (c *Core) Info() *topo.CoreInfo { return c.info }
+
+// Scheduler returns the core's scheduling policy.
+func (c *Core) Scheduler() Scheduler { return c.sched }
+
+// Current returns the task running right now, or nil if the core is
+// idle.
+func (c *Core) Current() *task.Task { return c.cur }
+
+// Idle reports whether the core has no task to run.
+func (c *Core) Idle() bool { return c.cur == nil }
+
+// NrRunnable returns the run-queue length including the running task —
+// the "load" of Linux-style balancing.
+func (c *Core) NrRunnable() int { return c.sched.NrRunnable() }
+
+// Queued returns the runnable tasks excluding the running one.
+func (c *Core) Queued() []*task.Task { return c.sched.Queued() }
+
+// IdleTime returns the accumulated idle time (settled as of the last
+// idle→busy transition).
+func (c *Core) IdleTime() time.Duration {
+	if c.idle {
+		return c.idleTime + time.Duration(c.m.now-c.idleSince)
+	}
+	return c.idleTime
+}
+
+// Sync settles in-progress accounting so task ExecTime values on this
+// core are exact as of Machine.Now.
+func (c *Core) Sync() { c.account() }
+
+// effSpeed returns the work retired per nanosecond when t runs on this
+// core now: base clock × NUMA-locality factor × SMT-contention factor ×
+// memory-bandwidth contention factor.
+func (c *Core) effSpeed(t *task.Task) float64 {
+	s := c.info.BaseSpeed
+	if c.m.Topo.RemoteMemoryPenalty > 0 && t.HomeNode >= 0 && t.HomeNode != c.info.Node {
+		s /= 1 + c.m.Topo.RemoteMemoryPenalty*t.MemIntensity
+	}
+	if c.info.SMTSiblings.Count() > 1 {
+		for _, sid := range c.info.SMTSiblings.Cores() {
+			if sid != c.id && c.m.Cores[sid].cur != nil {
+				s *= c.m.cfg.SMTContentionFactor
+				break
+			}
+		}
+	}
+	if t.MemIntensity > 0 && t.Cur.Kind == task.ExecCompute && c.memDomain >= 0 {
+		d := &c.m.Topo.MemDomains[c.memDomain]
+		demand := 0.0
+		for _, id := range d.Cores.Cores() {
+			// Only computing tasks stress the memory path: a thread
+			// spinning at a barrier issues no memory traffic.
+			if o := c.m.Cores[id].cur; o != nil && o.Cur.Kind == task.ExecCompute {
+				demand += o.MemIntensity
+			} else if o == nil && id == c.id {
+				// Called before c.cur is set (scheduleStop timing):
+				// count t itself.
+				demand += t.MemIntensity
+			}
+		}
+		if demand > d.Capacity {
+			// The memory-bound fraction of the task slows to its fair
+			// share of the saturated path.
+			s *= 1 - t.MemIntensity + t.MemIntensity*d.Capacity/demand
+		}
+	}
+	return s
+}
+
+// account settles the current task's in-progress stint: charges exec
+// time, consumes migration warmup, retires work, burns spin budget and
+// check budget. Safe to call at any time.
+func (c *Core) account() {
+	t := c.cur
+	now := c.m.now
+	if t == nil || c.runStart >= now {
+		return
+	}
+	elapsed := time.Duration(now - c.runStart)
+	c.runStart = now
+	t.ExecTime += elapsed
+	t.LastRanAt = now
+	c.BusyTime += elapsed
+	c.sched.AccountExec(t, elapsed)
+
+	rem := elapsed
+	if t.WarmupLeft > 0 {
+		w := t.WarmupLeft
+		if w > rem {
+			w = rem
+		}
+		t.WarmupLeft -= w
+		rem -= w
+	}
+	switch t.Cur.Kind {
+	case task.ExecCompute:
+		retired := float64(rem) * c.effSpeed(t)
+		if retired > t.Cur.WorkLeft {
+			retired = t.Cur.WorkLeft
+		}
+		t.Cur.WorkLeft -= retired
+		t.WorkDone += retired
+	case task.ExecSpin:
+		if t.Cur.SpinLeft >= 0 {
+			t.Cur.SpinLeft -= elapsed
+			if t.Cur.SpinLeft < 0 {
+				t.Cur.SpinLeft = 0
+			}
+		}
+	case task.ExecYieldWait, task.ExecPollWait:
+		t.Cur.CheckLeft -= rem
+		if t.Cur.CheckLeft < 0 {
+			t.Cur.CheckLeft = 0
+		}
+	}
+}
+
+// dispatch fills an empty core with the scheduler's next choice, firing
+// the new-idle hooks when there is none. Re-entrant calls (from idle
+// hooks that enqueue) are absorbed by the outer loop.
+func (c *Core) dispatch() {
+	if c.inDispatch {
+		return
+	}
+	c.inDispatch = true
+	defer func() { c.inDispatch = false }()
+	for c.cur == nil {
+		t := c.sched.PickNext()
+		if t == nil {
+			if !c.idle {
+				c.idle = true
+				c.idleSince = c.m.now
+			}
+			for _, fn := range c.m.idleFns {
+				fn(c)
+			}
+			t = c.sched.PickNext()
+			if t == nil {
+				return
+			}
+		}
+		c.begin(t)
+	}
+}
+
+// begin starts running t. It only mutates core/task state and schedules
+// the stop event; program advancement happens in event context (onStop).
+func (c *Core) begin(t *task.Task) {
+	now := c.m.now
+	if c.idle {
+		c.idleTime += time.Duration(now - c.idleSince)
+		c.idle = false
+	}
+	c.m.settleShared(c)
+	if t != c.lastRun {
+		c.m.Stats.ContextSwitches++
+		c.lastRun = t
+	}
+	t.State = task.Running
+	t.LastRanAt = now
+	c.cur = t
+	c.runStart = now
+	c.sliceEnd = now + int64(c.sched.Slice(t))
+	c.needResched = false
+	c.scheduleStop()
+	c.m.rearmShared(c)
+}
+
+// requestStop forces the current task to re-enter onStop at the current
+// simulated time (wakeup preemption, spin release).
+func (c *Core) requestStop() {
+	if c.cur == nil {
+		return
+	}
+	c.needResched = true
+	c.armStop(c.m.now)
+}
+
+// refreshStop re-derives the stop event after queue conditions changed
+// without a preemption (e.g. a task arrived but does not preempt, so a
+// slice boundary now matters).
+func (c *Core) refreshStop() {
+	if c.cur == nil {
+		return
+	}
+	c.account()
+	c.scheduleStop()
+}
+
+// scheduleStop computes when the current task must next be looked at and
+// arms the stop event. A stop time of "never" (spinning alone on a core)
+// arms nothing; external events (enqueue, release) will intervene.
+func (c *Core) scheduleStop() {
+	t := c.cur
+	now := c.m.now
+	if c.needResched {
+		c.armStop(now)
+		return
+	}
+	contended := c.sched.NrRunnable() > 1
+	const never = int64(math.MaxInt64)
+	stop := never
+	// The policy re-evaluates at every slice boundary even when the
+	// task runs alone — DWRR's round accounting (and hence its
+	// round-balancing steals) depends on slices expiring, as the timer
+	// tick guarantees in a real kernel.
+	sliceCap := true
+	switch t.Cur.Kind {
+	case task.ExecCompute:
+		need := int64(t.WarmupLeft)
+		if eff := c.effSpeed(t); t.Cur.WorkLeft > 0 {
+			need += int64(math.Ceil(t.Cur.WorkLeft / eff))
+		}
+		stop = now + need
+	case task.ExecSpin:
+		if t.Cur.Released {
+			stop = now
+		} else if t.Cur.SpinLeft >= 0 {
+			stop = now + int64(t.Cur.SpinLeft) + int64(t.WarmupLeft)
+		}
+	case task.ExecYieldWait:
+		if t.Cur.Released {
+			stop = now
+		} else if contended {
+			stop = now + int64(t.Cur.CheckLeft) + int64(t.WarmupLeft)
+		} else {
+			// Uncontended yield-waiters spin lazily with no event; an
+			// arriving competitor forces a resched (Machine.enqueue).
+			sliceCap = false
+		}
+	case task.ExecPollWait:
+		if t.Cur.Released {
+			stop = now
+		} else {
+			stop = now + int64(t.Cur.CheckLeft) + int64(t.WarmupLeft)
+		}
+	case task.ExecSleep, task.ExecBlocked:
+		// A completed sleep/block scheduled onto the CPU: finish the
+		// action immediately.
+		stop = now
+	case task.ExecExited, task.ExecIdle:
+		stop = now
+	}
+	if sliceCap && c.sliceEnd < stop {
+		stop = c.sliceEnd
+		if stop < now {
+			stop = now
+		}
+	}
+	if stop == never {
+		c.gen++ // invalidate any previously armed event
+		return
+	}
+	c.armStop(stop)
+}
+
+// armStop schedules the stop event with a fresh generation.
+func (c *Core) armStop(at int64) {
+	c.gen++
+	gen := c.gen
+	c.m.At(at, func(now int64) {
+		if c.gen == gen {
+			c.onStop()
+		}
+	})
+}
+
+// onStop is the single place tasks make progress through their programs:
+// it fires at slice ends, work completion, check boundaries, wait
+// releases and preemption requests, decides what the stop means from
+// task state, and either advances the program or rotates the queue.
+func (c *Core) onStop() {
+	c.account()
+	c.needResched = false
+	t := c.cur
+	if t == nil {
+		c.dispatch()
+		return
+	}
+	switch t.Cur.Kind {
+	case task.ExecCompute:
+		// Within 1 ns of work at current speed counts as done (event
+		// times are integer ns; see scheduleStop's Ceil).
+		if t.WarmupLeft == 0 && t.Cur.WorkLeft < c.effSpeed(t) {
+			c.advanceCurrent()
+			return
+		}
+	case task.ExecSleep, task.ExecBlocked:
+		c.advanceCurrent()
+		return
+	case task.ExecSpin:
+		if t.Cur.Released {
+			c.advanceCurrent()
+			return
+		}
+		if t.Cur.Policy == task.WaitSpinThenBlock && t.Cur.SpinLeft == 0 {
+			// KMP_BLOCKTIME exhausted: go to sleep until released.
+			t.Cur.Kind = task.ExecBlocked
+			c.m.block(t)
+			return
+		}
+	case task.ExecYieldWait:
+		if t.Cur.Released {
+			c.advanceCurrent()
+			return
+		}
+		if t.Cur.CheckLeft == 0 {
+			// Condition still unmet: sched_yield and let others run.
+			// When every co-runnable task is also an unreleased
+			// yield-waiter, the ping-pong is symmetric (they all just
+			// burn CPU): coarsen the check interval so the simulator
+			// does not pay one event per microsecond of mutual
+			// yielding. CPU accounting is unchanged — waiters still
+			// charge their exec time — only the interleaving grain is.
+			next := c.m.cfg.CheckCost
+			if c.onlyYieldWaitersQueued() {
+				next = c.m.cfg.YieldGroupCheck
+			}
+			c.stopCurrent()
+			c.sched.Yield(t)
+			t.State = task.Runnable
+			t.Cur.CheckLeft = next
+			c.sched.PutPrev(t)
+			c.dispatch()
+			return
+		}
+	case task.ExecPollWait:
+		if t.Cur.Released {
+			c.advanceCurrent()
+			return
+		}
+		if t.Cur.CheckLeft == 0 {
+			// Condition still unmet: usleep before the next check,
+			// backing off exponentially up to PollMax as usleep-based
+			// barrier loops do.
+			t.Cur.CheckLeft = c.m.cfg.CheckCost
+			backoff := t.Cur.PollBackoff
+			if backoff == 0 {
+				backoff = c.m.cfg.PollInterval
+			} else if backoff < c.m.cfg.PollMax {
+				backoff *= 2
+				if backoff > c.m.cfg.PollMax {
+					backoff = c.m.cfg.PollMax
+				}
+			}
+			t.Cur.PollBackoff = backoff
+			t.Cur.WakeAt = c.m.now + int64(backoff)
+			c.m.sleepUntil(t, t.Cur.WakeAt)
+			return
+		}
+	case task.ExecExited:
+		c.m.exit(t)
+		return
+	}
+	// Slice expiry or preemption: return the task to the queue and pick
+	// again.
+	c.stopCurrent()
+	t.State = task.Runnable
+	c.sched.PutPrev(t)
+	c.dispatch()
+}
+
+// onlyYieldWaitersQueued reports whether every queued task on this core
+// is an unreleased yield-waiter (the symmetric ping-pong case).
+func (c *Core) onlyYieldWaitersQueued() bool {
+	for _, o := range c.sched.Queued() {
+		if o.Cur.Kind != task.ExecYieldWait || o.Cur.Released {
+			return false
+		}
+	}
+	return true
+}
+
+// advanceCurrent moves the running task to its next program action.
+func (c *Core) advanceCurrent() {
+	t := c.cur
+	// A memory-intensive task switching between computing and waiting
+	// changes the demand on its memory domain even though core
+	// occupancy is unchanged: settle the domain mates at the old
+	// demand and re-arm them at the new one.
+	memShift := t.MemIntensity > 0 && c.memDomain >= 0
+	if memShift {
+		c.m.settleShared(c)
+	}
+	c.m.advance(t)
+	if c.cur == t {
+		// Still running (new compute or on-CPU wait): restart timing.
+		c.scheduleStop()
+	}
+	if memShift {
+		c.m.rearmShared(c)
+	}
+}
+
+// stopCurrent detaches the running task from the CPU. Accounting must be
+// settled first. The task is left off-queue; the caller requeues,
+// blocks or exits it. Dependent cores are settled and re-armed because
+// the occupancy change alters their contention factors.
+func (c *Core) stopCurrent() {
+	c.m.settleShared(c)
+	c.cur = nil
+	c.gen++
+	c.needResched = false
+	c.m.rearmShared(c)
+}

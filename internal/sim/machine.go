@@ -1,0 +1,585 @@
+// Package sim implements the discrete-event multicore machine simulator
+// that substitutes for the paper's hardware testbeds (see DESIGN.md §2).
+//
+// A Machine has one Core per logical CPU of its topology. Each core runs
+// at most one task at a time under a pluggable per-core Scheduler; a
+// central event queue advances simulated time. Tasks execute Programs
+// (compute, sleep, wait-for-condition, exit); the machine performs all
+// time accounting — notably each task's cumulative CPU time, the
+// numerator of the paper's speed metric.
+//
+// Determinism: given the same topology, tasks, actors and seed, a run
+// produces bit-identical results. All randomness flows from the machine's
+// seeded RNG; events at equal times fire in scheduling order.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/eventq"
+	"repro/internal/task"
+	"repro/internal/topo"
+	"repro/internal/xrand"
+)
+
+// Actor is anything that schedules its own activity on the machine —
+// load balancers, workload generators. Start is called once before the
+// event loop begins.
+type Actor interface {
+	Start(m *Machine)
+}
+
+// Placer decides which core a newly started task is placed on. The
+// default picks the least-loaded allowed core with accurate information;
+// the Linux balancer installs a placer that uses per-tick-stale load
+// snapshots (reproducing the fork-placement clumping discussed in the
+// paper's §2 footnote 1).
+type Placer interface {
+	Place(m *Machine, t *task.Task) int
+}
+
+// Stats aggregates machine-wide counters for a run.
+type Stats struct {
+	// Migrations counts cross-core task moves, keyed by the label the
+	// mover passed to Migrate ("linuxlb", "speedbal", "dwrr", ...).
+	Migrations map[string]int
+	// ContextSwitches counts dispatches of a different task than the
+	// one previously running on the core.
+	ContextSwitches int
+	// Wakeups counts sleep/block → runnable transitions.
+	Wakeups int
+	// Events counts processed simulator events (a cost/health metric).
+	Events int
+}
+
+// TotalMigrations sums migrations across movers.
+func (s *Stats) TotalMigrations() int {
+	n := 0
+	for _, v := range s.Migrations {
+		n += v
+	}
+	return n
+}
+
+// Config carries machine construction options.
+type Config struct {
+	// Seed feeds the machine RNG; actors split their own streams off
+	// it.
+	Seed uint64
+	// NewScheduler builds the per-core scheduling policy. Required.
+	NewScheduler func(coreID int) Scheduler
+	// SMTContentionFactor is the speed multiplier applied to a core
+	// whose SMT sibling context is busy (default 0.65, per the paper's
+	// §6 observation that a task sharing a physical core runs slower).
+	SMTContentionFactor float64
+	// PollInterval is the initial sleep length between checks of a
+	// WaitPollSleep waiter (the usleep(1) call in the paper's modified
+	// UPC runtime; default 50 µs of effective sleep). Unsuccessful
+	// checks back off exponentially to PollMax (default 2 ms).
+	PollInterval time.Duration
+	// PollMax caps the poll-sleep backoff.
+	PollMax time.Duration
+	// CheckCost is the CPU cost of one condition check in yield/poll
+	// waits (default 1 µs).
+	CheckCost time.Duration
+	// YieldGroupCheck is the coarsened check interval used when every
+	// runnable task on a core is an unreleased yield-waiter — the
+	// interleaving grain of a symmetric sched_yield ping-pong (default
+	// 1 ms; the waiters burn CPU either way).
+	YieldGroupCheck time.Duration
+}
+
+func (c *Config) fill() {
+	if c.SMTContentionFactor == 0 {
+		c.SMTContentionFactor = 0.65
+	}
+	if c.PollInterval == 0 {
+		c.PollInterval = 50 * time.Microsecond
+	}
+	if c.PollMax == 0 {
+		c.PollMax = 2 * time.Millisecond
+	}
+	if c.CheckCost == 0 {
+		c.CheckCost = time.Microsecond
+	}
+	if c.YieldGroupCheck == 0 {
+		c.YieldGroupCheck = time.Millisecond
+	}
+}
+
+// Machine is the simulated multicore system.
+type Machine struct {
+	Topo  *topo.Topology
+	Cores []*Core
+	Stats Stats
+
+	cfg      Config
+	events   eventq.Queue
+	now      int64
+	rng      *xrand.RNG
+	tasks    []*task.Task
+	actors   []Actor
+	placer   Placer
+	idleFns  []func(c *Core)
+	doneFns  []func(t *task.Task)
+	running  bool
+	stopped  bool
+	nextTask int
+}
+
+// New builds a machine over the topology. The scheduler factory in cfg is
+// mandatory.
+func New(tp *topo.Topology, cfg Config) *Machine {
+	if cfg.NewScheduler == nil {
+		panic("sim: Config.NewScheduler is required")
+	}
+	if err := tp.Validate(); err != nil {
+		panic(fmt.Sprintf("sim: invalid topology: %v", err))
+	}
+	cfg.fill()
+	m := &Machine{
+		Topo: tp,
+		cfg:  cfg,
+		rng:  xrand.New(cfg.Seed),
+	}
+	m.Stats.Migrations = make(map[string]int)
+	for i := range tp.Cores {
+		c := &Core{id: i, info: &tp.Cores[i], m: m, memDomain: tp.MemDomainOf(i)}
+		c.sched = cfg.NewScheduler(i)
+		c.sched.Attach(m, i)
+		m.Cores = append(m.Cores, c)
+	}
+	m.placer = leastLoadedPlacer{}
+	return m
+}
+
+// Now returns the current simulation time in nanoseconds. It implements
+// part of task.Waker.
+func (m *Machine) Now() int64 { return m.now }
+
+// RNG returns a generator split off the machine stream; each caller gets
+// an independent stream so actors do not perturb one another.
+func (m *Machine) RNG() *xrand.RNG { return m.rng.Split() }
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Tasks returns all tasks ever added, in creation order.
+func (m *Machine) Tasks() []*task.Task { return m.tasks }
+
+// At schedules fn to run at absolute time at (clamped to now).
+func (m *Machine) At(at int64, fn func(now int64)) *eventq.Event {
+	if at < m.now {
+		at = m.now
+	}
+	return m.events.Push(eventq.Time(at), func(now eventq.Time) { fn(int64(now)) })
+}
+
+// After schedules fn to run d from now.
+func (m *Machine) After(d time.Duration, fn func(now int64)) *eventq.Event {
+	return m.At(m.now+int64(d), fn)
+}
+
+// Cancel removes a pending event scheduled with At/After.
+func (m *Machine) Cancel(e *eventq.Event) { m.events.Remove(e) }
+
+// AddActor registers an actor; its Start runs when the event loop begins
+// (or immediately if the loop is already running).
+func (m *Machine) AddActor(a Actor) {
+	m.actors = append(m.actors, a)
+	if m.running {
+		a.Start(m)
+	}
+}
+
+// SetPlacer installs the fork-placement policy.
+func (m *Machine) SetPlacer(p Placer) { m.placer = p }
+
+// OnIdle registers a hook invoked when a core runs out of runnable tasks
+// (the Linux new-idle balancing entry point). The hook may enqueue a task
+// on the core; dispatch re-runs afterwards.
+func (m *Machine) OnIdle(fn func(c *Core)) { m.idleFns = append(m.idleFns, fn) }
+
+// OnTaskDone registers a hook invoked when any task exits.
+func (m *Machine) OnTaskDone(fn func(t *task.Task)) { m.doneFns = append(m.doneFns, fn) }
+
+// NewTask creates a task with the given program, default nice and full
+// affinity, but does not start it.
+func (m *Machine) NewTask(name string, prog task.Program) *task.Task {
+	t := &task.Task{
+		ID:       m.nextTask,
+		Name:     name,
+		Prog:     prog,
+		Affinity: m.Topo.AllCores(),
+		HomeNode: -1,
+		CoreID:   -1,
+	}
+	t.Sched.Weight = task.NiceWeight(0)
+	m.nextTask++
+	m.tasks = append(m.tasks, t)
+	return t
+}
+
+// Start places a new task using the machine placer and makes it runnable.
+func (m *Machine) Start(t *task.Task) {
+	m.StartOn(t, m.placer.Place(m, t))
+}
+
+// StartOn places a new task on the given core and makes it runnable. The
+// core must be in the task's affinity.
+func (m *Machine) StartOn(t *task.Task, core int) {
+	if t.State != task.New {
+		panic(fmt.Sprintf("sim: Start of task %q in state %v", t.Name, t.State))
+	}
+	if !t.Affinity.Has(core) {
+		panic(fmt.Sprintf("sim: task %q placed on core %d outside affinity %v", t.Name, core, t.Affinity))
+	}
+	if t.Sched.Weight == 0 {
+		t.Sched.Weight = task.NiceWeight(t.Nice)
+	}
+	t.StartedAt = m.now
+	t.State = task.Runnable
+	t.CoreID = core
+	if t.HomeNode < 0 {
+		// First-touch NUMA placement: pages land on the node of the
+		// core the task starts on.
+		t.HomeNode = m.Topo.Cores[core].Node
+	}
+	m.advance(t) // fetch the first action
+	if t.State == task.Runnable {
+		m.enqueue(t, core, false)
+	}
+}
+
+// Release implements task.Waker: the condition t was waiting for is now
+// satisfied. A blocked task wakes; a spinning/yielding/polling task
+// completes its wait at its next check (immediately — same simulated
+// time — if it is running right now).
+func (m *Machine) Release(t *task.Task) {
+	t.Cur.Released = true
+	switch t.State {
+	case task.Blocked:
+		m.wake(t)
+	case task.Running:
+		// Serviced in event context to keep state transitions
+		// non-reentrant; the event fires at the current time.
+		m.Cores[t.CoreID].requestStop()
+	case task.Runnable, task.Sleeping:
+		// Completes at next dispatch / timer wake.
+	}
+}
+
+// wake moves a sleeping or blocked task back onto its core's run queue.
+func (m *Machine) wake(t *task.Task) {
+	if t.State != task.Sleeping && t.State != task.Blocked {
+		return
+	}
+	m.Stats.Wakeups++
+	t.State = task.Runnable
+	m.enqueue(t, t.CoreID, true)
+}
+
+// enqueue puts a runnable task on a core's queue and handles preemption.
+// Scheduler implementations maintain t.Sched.OnQueue.
+func (m *Machine) enqueue(t *task.Task, core int, wakeup bool) {
+	c := m.Cores[core]
+	t.CoreID = core
+	t.LastEnqueuedAt = m.now
+	preempt := c.sched.Enqueue(t, wakeup)
+	if c.cur == nil {
+		c.dispatch()
+		return
+	}
+	// A yield-waiting current task would voluntarily yield within
+	// microseconds of a competitor arriving; fold that into "now".
+	if preempt || c.cur.Cur.Kind == task.ExecYieldWait {
+		c.requestStop()
+		return
+	}
+	// No preemption: the current task keeps running, but it is now
+	// contended, so make sure a slice-end event exists.
+	c.refreshStop()
+}
+
+// Migrate moves a runnable (not running) task to the destination core,
+// charging the cache-warmup cost. label identifies the mover for the
+// migration statistics. Balancers are expected to have checked affinity
+// semantics themselves: Linux respects the mask, speedbalancer rewrites
+// it. It panics if the task is running; use MigrateNow for
+// sched_setaffinity semantics that move a running task.
+func (m *Machine) Migrate(t *task.Task, dst int, label string) {
+	if t.State == task.Running {
+		panic(fmt.Sprintf("sim: migrating running task %q", t.Name))
+	}
+	src := t.CoreID
+	if src == dst {
+		return
+	}
+	if t.Sched.OnQueue {
+		m.Cores[src].sched.Dequeue(t)
+	}
+	m.NoteMigration(t, dst, label)
+	if t.Runnable() {
+		t.State = task.Runnable
+		m.enqueue(t, dst, false)
+	}
+	// Sleeping/blocked tasks just wake on the new core later.
+}
+
+// MigrateNow moves a task to the destination core even if it is
+// currently running, modelling sched_setaffinity: "forces a task to be
+// moved immediately to another core, without allowing the task to finish
+// the run time remaining in its quantum" (§5.2). This is how
+// speedbalancer migrates and how the Linux active-balance migration
+// thread pushes.
+func (m *Machine) MigrateNow(t *task.Task, dst int, label string) {
+	if t.State != task.Running {
+		m.Migrate(t, dst, label)
+		return
+	}
+	src := t.CoreID
+	if src == dst {
+		return
+	}
+	c := m.Cores[src]
+	c.account()
+	c.stopCurrent()
+	c.sched.Dequeue(t)
+	m.NoteMigration(t, dst, label)
+	t.State = task.Runnable
+	m.enqueue(t, dst, false)
+	c.dispatch()
+}
+
+// NoteMigration records a cross-core move of a task that the caller has
+// already detached from its source queue (or that is off-queue): it
+// charges the cache-warmup cost and updates counters and the task's core
+// assignment. Queue insertion at the destination is the caller's job —
+// schedulers that steal internally (DWRR round balancing) insert into
+// their own structures.
+func (m *Machine) NoteMigration(t *task.Task, dst int, label string) {
+	src := t.CoreID
+	if src == dst {
+		return
+	}
+	t.WarmupLeft += m.Topo.MigrationCost(t.RSS, src, dst)
+	t.Migrations++
+	t.LastMigratedAt = m.now
+	m.Stats.Migrations[label]++
+	t.CoreID = dst
+}
+
+// advance drives the task's program forward until it yields an action
+// that takes time. It may be called re-entrantly (a barrier release
+// advancing waiters on other cores).
+func (m *Machine) advance(t *task.Task) {
+	for {
+		var a task.Action = task.Exit{}
+		if t.Prog != nil {
+			a = t.Prog.Next(t, m.now)
+		}
+		switch a := a.(type) {
+		case task.Compute:
+			t.Cur = task.Exec{Kind: task.ExecCompute, WorkLeft: a.Work}
+			return
+		case task.Sleep:
+			t.Cur = task.Exec{Kind: task.ExecSleep, WakeAt: m.now + int64(a.D)}
+			m.sleepUntil(t, t.Cur.WakeAt)
+			return
+		case task.WaitFor:
+			if a.C.Arrive(t, m) {
+				continue // condition already satisfied; next action
+			}
+			switch a.Policy {
+			case task.WaitSpin:
+				t.Cur = task.Exec{Kind: task.ExecSpin, Cond: a.C, Policy: a.Policy, SpinLeft: -1}
+			case task.WaitSpinThenBlock:
+				bt := a.Blocktime
+				if bt <= 0 {
+					bt = 200 * time.Millisecond // KMP_BLOCKTIME default
+				}
+				t.Cur = task.Exec{Kind: task.ExecSpin, Cond: a.C, Policy: a.Policy, SpinLeft: bt}
+			case task.WaitYield:
+				t.Cur = task.Exec{Kind: task.ExecYieldWait, Cond: a.C, Policy: a.Policy, CheckLeft: m.cfg.CheckCost}
+			case task.WaitPollSleep:
+				t.Cur = task.Exec{Kind: task.ExecPollWait, Cond: a.C, Policy: a.Policy, CheckLeft: m.cfg.CheckCost}
+			case task.WaitBlock:
+				t.Cur = task.Exec{Kind: task.ExecBlocked, Cond: a.C, Policy: a.Policy}
+				m.block(t)
+				return
+			default:
+				panic("sim: unknown wait policy")
+			}
+			if t.Cur.Released {
+				// Released during Arrive (cannot happen for barriers,
+				// but a permissive condition could); keep going.
+				continue
+			}
+			return
+		case task.Exit:
+			m.exit(t)
+			return
+		default:
+			panic(fmt.Sprintf("sim: unknown action %T", a))
+		}
+	}
+}
+
+// sleepUntil takes a runnable/running task off its queue for a timed
+// sleep. The caller has already set t.Cur.
+func (m *Machine) sleepUntil(t *task.Task, wakeAt int64) {
+	m.offQueue(t, task.Sleeping)
+	m.At(wakeAt, func(now int64) {
+		if t.State == task.Sleeping {
+			m.wake(t)
+		}
+	})
+}
+
+// block takes a task off its queue until a Release.
+func (m *Machine) block(t *task.Task) {
+	m.offQueue(t, task.Blocked)
+}
+
+// exit ends the task.
+func (m *Machine) exit(t *task.Task) {
+	t.Cur = task.Exec{Kind: task.ExecExited}
+	m.offQueue(t, task.Done)
+	t.FinishedAt = m.now
+	for _, fn := range m.doneFns {
+		fn(t)
+	}
+}
+
+// offQueue removes a task from its core's queue (handling the case where
+// it is the currently running task) and sets the new state. Accounting
+// for a running task must already be settled by the caller.
+func (m *Machine) offQueue(t *task.Task, st task.State) {
+	c := m.Cores[t.CoreID]
+	wasCur := c.cur == t
+	if wasCur {
+		c.stopCurrent()
+	}
+	if wasCur || t.Sched.OnQueue {
+		// The policy tracks the running task internally; Dequeue
+		// detaches it in either position.
+		c.sched.Dequeue(t)
+	}
+	t.State = st
+	if wasCur {
+		c.dispatch()
+	}
+}
+
+// sharedWith visits every other core whose effective speed depends on
+// this core's occupancy — SMT siblings and memory-domain mates.
+func (m *Machine) sharedWith(c *Core, fn func(o *Core)) {
+	if sibs := c.info.SMTSiblings; sibs.Count() > 1 {
+		for _, s := range sibs.Cores() {
+			if s != c.id {
+				fn(m.Cores[s])
+			}
+		}
+	}
+	if c.memDomain >= 0 {
+		for _, s := range m.Topo.MemDomains[c.memDomain].Cores.Cores() {
+			if s != c.id && !c.info.SMTSiblings.Has(s) {
+				fn(m.Cores[s])
+			}
+		}
+	}
+}
+
+// settleShared settles accounting on the dependent cores before this
+// core's occupancy changes, so their in-progress stints are charged at
+// the contention level that actually held.
+func (m *Machine) settleShared(c *Core) {
+	m.sharedWith(c, func(o *Core) { o.account() })
+}
+
+// rearmShared recomputes the dependent cores' stop events after this
+// core's occupancy changed: their tasks now retire work at a different
+// rate, so previously armed completion times are wrong.
+func (m *Machine) rearmShared(c *Core) {
+	m.sharedWith(c, func(o *Core) {
+		if o.cur != nil {
+			o.scheduleStop()
+		}
+	})
+}
+
+// Sync settles in-progress accounting on every core so task ExecTime
+// values are exact as of Now. Balancers call this before sampling speeds.
+func (m *Machine) Sync() {
+	for _, c := range m.Cores {
+		c.account()
+	}
+}
+
+// Stop ends the run after the current event.
+func (m *Machine) Stop() { m.stopped = true }
+
+// Run processes events until the given absolute time (inclusive), the
+// event queue empties, or Stop is called. It returns the time reached.
+func (m *Machine) Run(until int64) int64 {
+	if !m.running {
+		m.running = true
+		for _, a := range m.actors {
+			a.Start(m)
+		}
+	}
+	for !m.stopped {
+		e := m.events.Peek()
+		if e == nil || int64(e.At) > until {
+			break
+		}
+		m.events.Pop()
+		if int64(e.At) > m.now {
+			m.now = int64(e.At)
+		}
+		m.Stats.Events++
+		e.Fire(e.At)
+	}
+	if m.now < until && !m.stopped {
+		m.now = until
+	}
+	return m.now
+}
+
+// RunFor processes events for d of simulated time.
+func (m *Machine) RunFor(d time.Duration) int64 { return m.Run(m.now + int64(d)) }
+
+// leastLoadedPlacer is the default accurate placement policy: the
+// lowest-loaded allowed core, ties to the lowest ID.
+type leastLoadedPlacer struct{}
+
+func (leastLoadedPlacer) Place(m *Machine, t *task.Task) int {
+	best, bestLoad := -1, 0
+	for _, c := range m.Cores {
+		if !t.Affinity.Has(c.id) {
+			continue
+		}
+		l := c.sched.NrRunnable()
+		if best == -1 || l < bestLoad {
+			best, bestLoad = c.id, l
+		}
+	}
+	if best == -1 {
+		panic(fmt.Sprintf("sim: no allowed core for task %q (affinity %v)", t.Name, t.Affinity))
+	}
+	return best
+}
+
+// RoundRobinPlacer places the i-th started task on the i-th core of the
+// allowed set, wrapping — the initial distribution speedbalancer enforces
+// (§5.2: "each of the threads gets pinned ... in round-robin fashion").
+type RoundRobinPlacer struct{ n int }
+
+// Place implements Placer.
+func (p *RoundRobinPlacer) Place(m *Machine, t *task.Task) int {
+	cores := t.Affinity.Cores()
+	c := cores[p.n%len(cores)]
+	p.n++
+	return c
+}

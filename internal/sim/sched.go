@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"time"
+
+	"repro/internal/task"
+)
+
+// Scheduler is the per-core scheduling policy (scheduling in time, in the
+// paper's terms). The machine owns the dispatch loop and calls into the
+// policy for queueing decisions; package cfs provides the Linux CFS
+// model, package dwrr the Distributed Weighted Round-Robin variant.
+//
+// Protocol: PickNext removes the chosen task from the queue and makes it
+// the policy's current task; PutPrev returns a still-runnable current
+// task to the queue; Dequeue removes a task wherever it is (queued or
+// current). AccountExec is called with the CPU time the current task just
+// consumed, before any queue operation that depends on up-to-date
+// vruntimes.
+type Scheduler interface {
+	// Attach binds the policy to a machine core. Called once at setup.
+	Attach(m *Machine, coreID int)
+	// Enqueue adds a runnable task. wakeup is true when the task is
+	// waking from sleep/block (it may receive a sleeper credit and may
+	// preempt). The return value asks the machine to preempt the
+	// current task.
+	Enqueue(t *task.Task, wakeup bool) (preempt bool)
+	// Dequeue removes the task from the policy entirely.
+	Dequeue(t *task.Task)
+	// PickNext selects, removes and returns the next task to run, or
+	// nil if the core should idle.
+	PickNext() *task.Task
+	// PutPrev returns the (still runnable) previously running task to
+	// the queue.
+	PutPrev(t *task.Task)
+	// AccountExec charges d of CPU time to the task.
+	AccountExec(t *task.Task, d time.Duration)
+	// Slice returns the timeslice the current task may run before the
+	// machine calls PutPrev/PickNext again.
+	Slice(t *task.Task) time.Duration
+	// Yield implements sched_yield: the task forfeits its claim and
+	// will be placed behind the other runnable tasks.
+	Yield(t *task.Task)
+	// NrRunnable returns the queue length including the running task —
+	// the "load" that Linux-style balancing equalises.
+	NrRunnable() int
+	// WeightedLoad returns the sum of queued task weights (including
+	// the running task), the load metric of CFS group balancing.
+	WeightedLoad() int64
+	// Queued returns the runnable tasks excluding the running one — the
+	// candidates a balancer may migrate. The returned slice is owned by
+	// the caller; order is deterministic (by vruntime, then ID).
+	Queued() []*task.Task
+}

@@ -1,0 +1,583 @@
+// Package speedbal implements the paper's contribution: user-level speed
+// balancing (§5).
+//
+// Instead of equalising run-queue lengths, speed balancing equalises the
+// speed of an application's threads, where speed = t_exec / t_real over
+// a balancing interval. A balancer thread runs per core; periodically
+// (every ~100 ms plus random jitter) it:
+//
+//  1. computes the speed of every managed thread on its (local) core
+//     over the elapsed interval,
+//  2. computes the local core speed as the average of those,
+//  3. computes the global core speed as the average over all cores,
+//  4. if the local core is faster than the global average, pulls one
+//     thread from a suitable remote core — one whose speed is
+//     sufficiently below the global average (s_k/s_global < T_s,
+//     default 0.9) and that has not been involved in a migration for at
+//     least two balance intervals.
+//
+// The thread pulled is the one that has migrated least ("to avoid
+// creating hot-potato tasks"). Migration uses sched_setaffinity
+// semantics: the thread is re-pinned to the destination core, moving
+// immediately and becoming invisible to the Linux balancer. Migrations
+// across NUMA domains are blocked by default (§5.2); per-domain minimum
+// intervals allow, e.g., cache-domain migrations twice as often.
+package speedbal
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/cpuset"
+	"repro/internal/sim"
+	"repro/internal/spmd"
+	"repro/internal/task"
+	"repro/internal/topo"
+	"repro/internal/xrand"
+)
+
+// Measure selects the thread-speed signal.
+type Measure int
+
+const (
+	// MeasureCPUShare is the paper's speed = t_exec / t_real (weighted
+	// by the core's relative clock on heterogeneous machines, per §4's
+	// extension). Spin- and yield-waiting count as progress, which is
+	// what makes blocked co-runners visible (§5).
+	MeasureCPUShare Measure = iota
+	// MeasureWorkRate is the §7 future-work alternative: speed from a
+	// retired-work performance counter (Δwork/Δwall). It sees through
+	// contention the CPU share cannot — memory-bandwidth saturation,
+	// SMT interference, remote-NUMA stalls — but scores waiting threads
+	// as making no progress, and, as §7 warns for real systems, would
+	// contend for the performance counters with application tuning.
+	MeasureWorkRate
+)
+
+// String names the measure.
+func (m Measure) String() string {
+	if m == MeasureWorkRate {
+		return "work-rate"
+	}
+	return "cpu-share"
+}
+
+// PullPolicy selects the victim thread on the remote core. The paper
+// uses least-migrated; the others exist for the abl-pull ablation.
+type PullPolicy int
+
+const (
+	// PullLeastMigrated is the paper's choice.
+	PullLeastMigrated PullPolicy = iota
+	// PullRandom picks uniformly.
+	PullRandom
+	// PullMostMigrated deliberately creates hot-potato tasks.
+	PullMostMigrated
+)
+
+// Config tunes the balancer. The zero value is completed by
+// DefaultConfig values in New.
+type Config struct {
+	// Interval is the balance interval (100 ms in all the paper's
+	// experiments, §5.1).
+	Interval time.Duration
+	// Threshold is T_s: pull only from cores with
+	// s_k/s_global < Threshold (0.9 in the paper, §5.2), which absorbs
+	// measurement noise when queues are perfectly balanced.
+	Threshold float64
+	// PostMigrationBlock is the number of balance intervals a core
+	// involved in a migration is blocked from further migrations
+	// (at least 2, §5.2).
+	PostMigrationBlock int
+	// BlockNUMA blocks migrations that cross NUMA domains (the paper's
+	// configuration on Barcelona).
+	BlockNUMA bool
+	// Jitter adds up to one balance interval of random delay to each
+	// wake-up, breaking migration cycles between queues (§5.1).
+	Jitter bool
+	// NoiseStdDev perturbs each speed sample multiplicatively with
+	// N(0, σ), modelling the taskstats measurement noise the paper
+	// compensates for with T_s. Zero disables.
+	NoiseStdDev float64
+	// AccountingGranularity quantises exec-time readings, modelling the
+	// tick-granular cputime accounting of the 2.6.28 kernel (default
+	// 1 ms, a HZ=1000 kernel; 10 ms on a HZ=100 build). This is why
+	// the paper finds that "using a lower value for the balancing
+	// interval might produce inaccurate values for thread speeds"
+	// (§6.1): at B close to the tick, Δexec carries a relative error
+	// of tick/B. Negative disables quantisation.
+	AccountingGranularity time.Duration
+	// PullPolicy selects the victim thread (default least-migrated).
+	PullPolicy PullPolicy
+	// StartupDelay postpones the first balancing pass (the paper's
+	// user-tunable delay for /proc to settle).
+	StartupDelay time.Duration
+	// Measure selects the speed signal (default the paper's CPU share).
+	Measure Measure
+	// SMTAware weights sampled speeds by the sibling hardware context's
+	// occupancy — the paper's stated future work for the Nehalem
+	// results ("weight the speed of a task according to the state of
+	// the other hardware context", §6). Requires knowing the machine's
+	// SMT contention factor, which a deployment calibrates once.
+	SMTAware bool
+	// EnableSwaps lets the balancer exchange two threads when a plain
+	// pull cannot help: with one thread per core on cores of different
+	// speeds, pulls only create doubled-up queues, but a swap rotates
+	// fast-core time without ever lowering utilisation. This is an
+	// extension beyond the paper's pull-only design (see DESIGN.md).
+	EnableSwaps bool
+	// RescanGroup, when non-empty, makes the balancer poll the machine
+	// for new tasks whose Group matches — the paper's "can be easily
+	// extended to balance applications with dynamic parallelism by
+	// polling the /proc file system" (§5.2 footnote). New threads are
+	// adopted and pinned to their current core.
+	RescanGroup string
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		Interval:              100 * time.Millisecond,
+		Threshold:             0.9,
+		PostMigrationBlock:    2,
+		BlockNUMA:             true,
+		Jitter:                true,
+		NoiseStdDev:           0.01,
+		AccountingGranularity: time.Millisecond,
+	}
+}
+
+// Balancer is the speedbalancer process managing one application.
+type Balancer struct {
+	cfg Config
+	m   *sim.Machine
+	rng *xrand.RNG
+
+	// managed is the set of application threads, fixed at Manage time
+	// (the /proc PID scan); exited threads are skipped dynamically.
+	managed []*task.Task
+	// cores is the managed core set (the user-requested cores).
+	cores []int
+
+	// speeds[j] is the latest core-speed sample for managed core index
+	// j — the only state shared between balancer threads (s_global is
+	// derived from it).
+	speeds []float64
+	// sampled[j] is when core j's balancer last sampled.
+	sampled []int64
+	// lastMigration[j] is when core j was last involved in a migration
+	// (as source or destination).
+	lastMigration []int64
+	// lastExec[t] is each thread's exec-time reading at its core's last
+	// sample; lastWork[t] the work-counter reading (MeasureWorkRate).
+	lastExec map[*task.Task]time.Duration
+	lastWork map[*task.Task]float64
+	// managedSet indexes managed for the dynamic-parallelism rescan.
+	managedSet map[*task.Task]bool
+
+	// Migrations counts pulls performed, for reporting.
+	Migrations int
+	// Swaps counts thread exchanges (EnableSwaps extension).
+	Swaps int
+	// Adopted counts threads discovered by the dynamic rescan.
+	Adopted int
+	// OnMigrate, if set, observes every pull (testing/tracing).
+	OnMigrate func(t *task.Task, from, to int, now int64)
+	stopped   bool
+}
+
+// New creates a balancer with cfg; zero fields take defaults.
+func New(cfg Config) *Balancer {
+	d := DefaultConfig()
+	if cfg.Interval == 0 {
+		cfg.Interval = d.Interval
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = d.Threshold
+	}
+	if cfg.PostMigrationBlock == 0 {
+		cfg.PostMigrationBlock = d.PostMigrationBlock
+	}
+	if cfg.AccountingGranularity == 0 {
+		cfg.AccountingGranularity = d.AccountingGranularity
+	}
+	return &Balancer{
+		cfg:        cfg,
+		lastExec:   make(map[*task.Task]time.Duration),
+		lastWork:   make(map[*task.Task]float64),
+		managedSet: make(map[*task.Task]bool),
+	}
+}
+
+// Default creates a balancer with the paper's parameters.
+func Default() *Balancer { return New(DefaultConfig()) }
+
+// Launch builds-and-manages in one step: it pins the application's
+// threads round-robin across the allowed cores (the initial distribution
+// of §5.2, maximising hardware parallelism), starts them, and begins
+// balancing. Call before or after Machine.Run has started.
+func (b *Balancer) Launch(m *sim.Machine, app *spmd.App) {
+	app.StartPinned()
+	b.Manage(m, app.Tasks, app.Spec.Affinity)
+	m.AddActor(b)
+}
+
+// Manage registers the threads and the managed core set without starting
+// anything; use with AddActor for already-running tasks.
+func (b *Balancer) Manage(m *sim.Machine, threads []*task.Task, cores cpuset.Set) {
+	if cores.Empty() {
+		cores = m.Topo.AllCores()
+	}
+	for _, t := range threads {
+		if !b.managedSet[t] {
+			b.managedSet[t] = true
+			b.managed = append(b.managed, t)
+		}
+	}
+	b.cores = cores.Cores()
+}
+
+// Start implements sim.Actor: one balancer thread per managed core.
+func (b *Balancer) Start(m *sim.Machine) {
+	b.m = m
+	b.rng = m.RNG()
+	if len(b.cores) == 0 {
+		// Rescan-only usage (no explicit Manage): watch every core.
+		b.cores = m.Topo.AllCores().Cores()
+	}
+	n := len(b.cores)
+	b.speeds = make([]float64, n)
+	b.sampled = make([]int64, n)
+	b.lastMigration = make([]int64, n)
+	for j := range b.speeds {
+		b.speeds[j] = -1 // unsampled
+	}
+	for j := range b.cores {
+		j := j
+		delay := b.cfg.StartupDelay + b.cfg.Interval
+		b.m.At(m.Now()+int64(delay)+b.jitter(), func(now int64) { b.wake(j, now) })
+	}
+}
+
+// Stop halts further balancing (the balancer exits with the app).
+func (b *Balancer) Stop() { b.stopped = true }
+
+func (b *Balancer) jitter() int64 {
+	if !b.cfg.Jitter {
+		return 0
+	}
+	return b.rng.Jitter(int64(b.cfg.Interval))
+}
+
+// wake is one balancer-thread activation on managed core index j.
+func (b *Balancer) wake(j int, now int64) {
+	if b.stopped {
+		return
+	}
+	if j == 0 && b.cfg.RescanGroup != "" {
+		b.rescan(now)
+	}
+	if b.allDone() && b.cfg.RescanGroup == "" {
+		// A dynamic group may grow again; a fixed one is finished.
+		return
+	}
+	b.sample(j, now)
+	b.balance(j, now)
+	b.m.At(now+int64(b.cfg.Interval)+b.jitter(), func(n int64) { b.wake(j, n) })
+}
+
+// rescan adopts newly appeared tasks of the managed group — the §5.2
+// dynamic-parallelism extension (polling /proc for new PIDs). Adopted
+// threads are pinned to their current core so the Linux balancer stops
+// moving them; speed balancing takes over.
+func (b *Balancer) rescan(now int64) {
+	for _, t := range b.m.Tasks() {
+		if t.Group != b.cfg.RescanGroup || b.managedSet[t] || t.State == task.Done {
+			continue
+		}
+		b.managedSet[t] = true
+		b.managed = append(b.managed, t)
+		b.Adopted++
+		if t.CoreID >= 0 {
+			t.Affinity = cpuset.Of(t.CoreID)
+		}
+	}
+}
+
+// allDone reports whether every managed thread has exited. With a
+// rescan group configured, an empty managed set means "nothing yet",
+// not "done".
+func (b *Balancer) allDone() bool {
+	if len(b.managed) == 0 {
+		return b.cfg.RescanGroup == ""
+	}
+	for _, t := range b.managed {
+		if t.State != task.Done {
+			return false
+		}
+	}
+	return true
+}
+
+// sample computes the local core speed: the average, over the managed
+// threads currently on the core, of Δexec/Δwall since this balancer's
+// previous sample (steps 1–2 of §5.1).
+func (b *Balancer) sample(j int, now int64) {
+	coreID := b.cores[j]
+	c := b.m.Cores[coreID]
+	c.Sync()
+	last := b.sampled[j]
+	b.sampled[j] = now
+	wall := time.Duration(now - last)
+	if wall <= 0 {
+		return
+	}
+	var sum float64
+	var cnt int
+	for _, t := range b.managed {
+		if t.State == task.Done || t.CoreID != coreID {
+			continue
+		}
+		var s float64
+		if b.cfg.Measure == MeasureWorkRate {
+			// Performance-counter extension (§7): retired work per
+			// wall time. The counter sees contention losses directly.
+			d := t.WorkDone - b.lastWork[t]
+			b.lastWork[t] = t.WorkDone
+			s = d / float64(wall)
+		} else {
+			// Read exec time the way the taskstats interface reports
+			// it: quantised to the accounting tick.
+			read := t.ExecTime
+			if g := b.cfg.AccountingGranularity; g > 0 {
+				read = read / g * g
+			}
+			d := read - b.lastExec[t]
+			b.lastExec[t] = read
+			// Weight the CPU share by the core's relative clock: §4
+			// notes the argument "can be easily extended to
+			// heterogeneous systems ... by weighting with the relative
+			// core speed". The clock rating is static information
+			// (/sys), so the user-level balancer may use it.
+			s = task.Speed(d, wall) * c.Info().BaseSpeed
+			if b.cfg.SMTAware {
+				// Future-work extension (§6): discount the share by
+				// the sibling hardware context's utilisation.
+				s *= b.smtFactor(coreID)
+			}
+		}
+		if b.cfg.NoiseStdDev > 0 {
+			s *= 1 + b.cfg.NoiseStdDev*b.rng.NormFloat64()
+			if s < 0 {
+				s = 0
+			}
+		}
+		sum += s
+		cnt++
+	}
+	if cnt == 0 {
+		// No managed thread here: the core's "speed" for the
+		// application is the share a newcomer would get — high when
+		// the core is idle, low when unrelated work occupies it.
+		s := 1.0 / float64(c.NrRunnable()+1) * c.Info().BaseSpeed
+		if b.cfg.SMTAware {
+			s *= b.smtFactor(coreID)
+		}
+		b.speeds[j] = s
+		return
+	}
+	b.speeds[j] = sum / float64(cnt)
+}
+
+// smtFactor returns the speed discount for the sibling hardware
+// context's current occupancy.
+func (b *Balancer) smtFactor(coreID int) float64 {
+	info := b.m.Cores[coreID].Info()
+	if info.SMTSiblings.Count() <= 1 {
+		return 1
+	}
+	for _, s := range info.SMTSiblings.Cores() {
+		if s != coreID && !b.m.Cores[s].Idle() {
+			return b.m.Config().SMTContentionFactor
+		}
+	}
+	return 1
+}
+
+// globalSpeed averages the per-core speeds (step 3 of §5.1). Cores not
+// yet sampled are skipped.
+func (b *Balancer) globalSpeed() float64 {
+	var sum float64
+	var n int
+	for _, s := range b.speeds {
+		if s >= 0 {
+			sum += s
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// balance is step 4 of §5.1: if the local core is faster than the global
+// average, pull one thread from a suitable slower core.
+func (b *Balancer) balance(j int, now int64) {
+	sj := b.speeds[j]
+	if sj < 0 {
+		return
+	}
+	sg := b.globalSpeed()
+	if sg <= 0 || sj <= sg {
+		return
+	}
+	block := int64(b.cfg.PostMigrationBlock) * int64(b.cfg.Interval)
+	if now-b.lastMigration[j] < block {
+		return
+	}
+	local := b.cores[j]
+	// Collect the suitable remote cores, slowest first; pull from the
+	// slowest one that actually holds a migratable managed thread (a
+	// core occupied only by unrelated work is slow but has nothing for
+	// us to take).
+	type cand struct {
+		k    int
+		sk   float64
+		dist topo.Distance
+	}
+	var cands []cand
+	for k, remote := range b.cores {
+		if k == j || b.speeds[k] < 0 {
+			continue
+		}
+		sk := b.speeds[k]
+		if sk >= sg || sk/sg >= b.cfg.Threshold {
+			continue
+		}
+		if now-b.lastMigration[k] < block {
+			continue
+		}
+		d := b.m.Topo.Distance(remote, local)
+		if b.cfg.BlockNUMA && d >= topo.DistNUMA {
+			continue
+		}
+		if b.cfg.SMTAware && d == topo.DistSMT {
+			// Moving a thread between two contexts of the same
+			// physical core cannot change its SMT contention.
+			continue
+		}
+		cands = append(cands, cand{k, sk, d})
+	}
+	// Prefer nearby sources: migrations between cache-sharing cores are
+	// orders of magnitude cheaper, which is why §5.2 lets them happen
+	// more often ("migrations ... twice as often between cores that
+	// share a cache"). Ties break toward the slowest core.
+	sort.Slice(cands, func(a, bb int) bool {
+		if cands[a].dist != cands[bb].dist {
+			return cands[a].dist < cands[bb].dist
+		}
+		if cands[a].sk != cands[bb].sk {
+			return cands[a].sk < cands[bb].sk
+		}
+		return cands[a].k < cands[bb].k
+	})
+	for _, c := range cands {
+		victim := b.pickVictim(b.cores[c.k], local)
+		if victim == nil {
+			continue
+		}
+		remote := b.cores[c.k]
+		if b.cfg.EnableSwaps && b.countManaged(remote) == 1 && b.countManaged(local) >= 1 {
+			// Pull-only balancing cannot help a one-thread-per-core
+			// imbalance (the pull would just double up the local
+			// queue): exchange the two threads instead, rotating
+			// fast-core time at constant utilisation.
+			give := b.pickVictim(local, remote)
+			if give != nil && give != victim {
+				victim.Affinity = cpuset.Of(local)
+				give.Affinity = cpuset.Of(remote)
+				b.m.MigrateNow(victim, local, "speedbal-swap")
+				b.m.MigrateNow(give, remote, "speedbal-swap")
+				b.Swaps++
+				if b.OnMigrate != nil {
+					b.OnMigrate(victim, remote, local, now)
+					b.OnMigrate(give, local, remote, now)
+				}
+				b.lastMigration[j] = now
+				b.lastMigration[c.k] = now
+				return
+			}
+		}
+		// sched_setaffinity: re-pin to the destination; the Linux
+		// balancer will not touch it afterwards (§5.2).
+		victim.Affinity = cpuset.Of(local)
+		b.m.MigrateNow(victim, local, "speedbal")
+		b.Migrations++
+		if b.OnMigrate != nil {
+			b.OnMigrate(victim, b.cores[c.k], local, now)
+		}
+		b.lastMigration[j] = now
+		b.lastMigration[c.k] = now
+		return
+	}
+}
+
+// countManaged returns the number of live managed threads on the core.
+func (b *Balancer) countManaged(core int) int {
+	n := 0
+	for _, t := range b.managed {
+		if t.State != task.Done && t.CoreID == core {
+			n++
+		}
+	}
+	return n
+}
+
+// pickVictim chooses which managed thread to pull off the remote core:
+// the least-migrated by default.
+func (b *Balancer) pickVictim(remote, local int) *task.Task {
+	var cands []*task.Task
+	for _, t := range b.managed {
+		if t.State == task.Done || t.CoreID != remote {
+			continue
+		}
+		if t.State == task.Sleeping || t.State == task.Blocked {
+			// Re-pinning a sleeper is possible but pointless: its
+			// speed contribution is already reflected in co-runners.
+			continue
+		}
+		cands = append(cands, t)
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	switch b.cfg.PullPolicy {
+	case PullRandom:
+		return cands[b.rng.Intn(len(cands))]
+	case PullMostMigrated:
+		pick := cands[0]
+		for _, t := range cands[1:] {
+			if t.Migrations > pick.Migrations {
+				pick = t
+			}
+		}
+		return pick
+	default:
+		// PullLeastMigrated, preferring a queued thread over the
+		// running one at equal migration counts: yanking a thread
+		// mid-compute (sched_setaffinity moves it immediately)
+		// disrupts more than redirecting one that is waiting its turn.
+		pick := cands[0]
+		for _, t := range cands[1:] {
+			switch {
+			case t.Migrations < pick.Migrations:
+				pick = t
+			case t.Migrations == pick.Migrations &&
+				pick.State == task.Running && t.State != task.Running:
+				pick = t
+			}
+		}
+		return pick
+	}
+}

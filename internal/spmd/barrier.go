@@ -1,0 +1,104 @@
+// Package spmd models SPMD (single program, multiple data) parallel
+// applications: N threads alternating computation phases with barrier
+// synchronization, the structure of the OpenMP, UPC and MPI workloads
+// evaluated in the paper (§3).
+//
+// The package provides the barrier condition with the wait-policy
+// variants whose interaction with OS load balancing the paper studies —
+// polling (spin), sched_yield (UPC/MPI default), usleep polling (the
+// paper's modified "LOAD-SLEEP" UPC runtime) and spin-then-block (Intel
+// OpenMP's KMP_BLOCKTIME) — plus the App builder used by the workloads in
+// package npb.
+package spmd
+
+import (
+	"fmt"
+
+	"repro/internal/task"
+)
+
+// Barrier is an N-party reusable (generational) barrier, implementing
+// task.Cond.
+type Barrier struct {
+	n       int
+	arrived int
+	gen     int
+	waiters []*task.Task
+	// Crossings counts completed barrier episodes (all N arrived).
+	Crossings int
+}
+
+// NewBarrier returns a barrier for n parties. It panics if n < 1.
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic(fmt.Sprintf("spmd: barrier size %d", n))
+	}
+	return &Barrier{n: n}
+}
+
+// N returns the party count.
+func (b *Barrier) N() int { return b.n }
+
+// Arrive implements task.Cond. The last arriver releases all waiters and
+// proceeds immediately; earlier arrivers wait under their task's policy.
+func (b *Barrier) Arrive(t *task.Task, w task.Waker) bool {
+	b.arrived++
+	if b.arrived < b.n {
+		b.waiters = append(b.waiters, t)
+		return false
+	}
+	// Episode complete: open the next generation before releasing, so
+	// re-arrivals (a released thread racing around the loop at the same
+	// timestamp) land in the new episode.
+	b.arrived = 0
+	b.gen++
+	b.Crossings++
+	ws := b.waiters
+	b.waiters = nil
+	for _, wt := range ws {
+		w.Release(wt)
+	}
+	return true
+}
+
+// Waiting returns how many parties are currently waiting.
+func (b *Barrier) Waiting() int { return len(b.waiters) }
+
+// Gen returns the current generation (completed episodes).
+func (b *Barrier) Gen() int { return b.gen }
+
+// Counter is a simple countdown condition: satisfied for everyone after
+// Arrive has been called n times. Unlike Barrier it is not generational;
+// it models one-shot events such as "all workers initialised".
+type Counter struct {
+	remaining int
+	done      bool
+	waiters   []*task.Task
+}
+
+// NewCounter returns a countdown condition for n arrivals.
+func NewCounter(n int) *Counter {
+	if n < 1 {
+		panic(fmt.Sprintf("spmd: counter size %d", n))
+	}
+	return &Counter{remaining: n}
+}
+
+// Arrive implements task.Cond.
+func (c *Counter) Arrive(t *task.Task, w task.Waker) bool {
+	if c.done {
+		return true
+	}
+	c.remaining--
+	if c.remaining <= 0 {
+		c.done = true
+		ws := c.waiters
+		c.waiters = nil
+		for _, wt := range ws {
+			w.Release(wt)
+		}
+		return true
+	}
+	c.waiters = append(c.waiters, t)
+	return false
+}

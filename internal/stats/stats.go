@@ -1,0 +1,132 @@
+// Package stats provides the run statistics the paper reports: means,
+// extrema, percentage variation (max/min run-time ratio, Table 3's
+// "% variation"), and improvement ratios between balancers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample is a collection of observations (e.g. run times of repeated
+// runs, one per seed).
+type Sample struct {
+	xs []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// AddDuration appends a duration observation in seconds.
+func (s *Sample) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// N returns the observation count.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Min returns the smallest observation (0 when empty).
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation (0 when empty).
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// StdDev returns the sample standard deviation (0 for n < 2).
+func (s *Sample) StdDev() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	mean := s.Mean()
+	var ss float64
+	for _, x := range s.xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Median returns the middle observation (0 when empty).
+func (s *Sample) Median() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	xs := append([]float64(nil), s.xs...)
+	sort.Float64s(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// VariationPct is the paper's Table 3 metric: "the ratio of the maximum
+// to minimum run times across 10 runs", expressed as a percentage above
+// 1 (so identical runs give 0, a 2× spread gives 100).
+func (s *Sample) VariationPct() float64 {
+	min := s.Min()
+	if min <= 0 {
+		return 0
+	}
+	return (s.Max()/min - 1) * 100
+}
+
+// ImprovementPct returns how much faster (in %) the receiver's mean run
+// time is than the baseline's: (base/mean − 1)·100. Positive means the
+// receiver is better (smaller times).
+func (s *Sample) ImprovementPct(base *Sample) float64 {
+	m := s.Mean()
+	if m <= 0 {
+		return 0
+	}
+	return (base.Mean()/m - 1) * 100
+}
+
+// WorstImprovementPct compares worst cases: (base.Max/s.Max − 1)·100.
+func (s *Sample) WorstImprovementPct(base *Sample) float64 {
+	m := s.Max()
+	if m <= 0 {
+		return 0
+	}
+	return (base.Max()/m - 1) * 100
+}
+
+// String summarises the sample.
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g min=%.4g max=%.4g var=%.1f%%",
+		s.N(), s.Mean(), s.Min(), s.Max(), s.VariationPct())
+}

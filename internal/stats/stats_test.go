@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sample(xs ...float64) *Sample {
+	var s Sample
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return &s
+}
+
+func TestBasics(t *testing.T) {
+	s := sample(1, 2, 3, 4)
+	if s.N() != 4 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 2.5 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 4 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Median() != 2.5 {
+		t.Errorf("Median = %v", s.Median())
+	}
+	if m := sample(5, 1, 3).Median(); m != 3 {
+		t.Errorf("odd Median = %v", m)
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Median() != 0 ||
+		s.StdDev() != 0 || s.VariationPct() != 0 {
+		t.Error("empty sample statistics not all zero")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	s := sample(2, 4, 4, 4, 5, 5, 7, 9)
+	// Sample (n-1) standard deviation of this classic set is ~2.138.
+	if got := s.StdDev(); math.Abs(got-2.138) > 0.01 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if sample(5).StdDev() != 0 {
+		t.Error("single-point StdDev != 0")
+	}
+}
+
+// VariationPct is the paper's max/min − 1 in percent.
+func TestVariationPct(t *testing.T) {
+	if v := sample(10, 10, 10).VariationPct(); v != 0 {
+		t.Errorf("identical runs variation = %v", v)
+	}
+	if v := sample(10, 20).VariationPct(); v != 100 {
+		t.Errorf("2x spread variation = %v, want 100", v)
+	}
+	if v := sample(10, 16.7).VariationPct(); math.Abs(v-67) > 0.5 {
+		t.Errorf("variation = %v, want ≈ 67 (the paper's LOAD number)", v)
+	}
+}
+
+func TestImprovementPct(t *testing.T) {
+	speed := sample(1.0)
+	load := sample(1.46)
+	if v := speed.ImprovementPct(load); math.Abs(v-46) > 0.01 {
+		t.Errorf("improvement = %v, want 46", v)
+	}
+	// Negative when slower.
+	if v := load.ImprovementPct(speed); v >= 0 {
+		t.Errorf("slower sample has non-negative improvement %v", v)
+	}
+}
+
+func TestWorstImprovementPct(t *testing.T) {
+	speed := sample(1.0, 1.1)
+	load := sample(1.0, 1.87)
+	if v := speed.WorstImprovementPct(load); math.Abs(v-70) > 0.1 {
+		t.Errorf("worst improvement = %v, want 70", v)
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Sample
+	s.AddDuration(1500 * time.Millisecond)
+	if s.Mean() != 1.5 {
+		t.Errorf("AddDuration mean = %v", s.Mean())
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := sample(1, 2).String(); got == "" {
+		t.Error("empty String")
+	}
+}
+
+// Properties: min ≤ mean ≤ max; min ≤ median ≤ max; variation ≥ 0.
+func TestPropertyOrderings(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, r := range raw {
+			s.Add(float64(r) + 1) // positive
+		}
+		return s.Min() <= s.Mean() && s.Mean() <= s.Max() &&
+			s.Min() <= s.Median() && s.Median() <= s.Max() &&
+			s.VariationPct() >= 0 && s.StdDev() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,161 @@
+package task
+
+import "time"
+
+// Program supplies a task's behaviour as a sequence of actions. The
+// machine calls Next each time the previous action completes; programs
+// are written as small state machines (see package spmd for the SPMD
+// compute/barrier loop).
+type Program interface {
+	// Next returns the task's next action. now is the simulation time in
+	// nanoseconds. Returning Exit ends the task.
+	Next(t *Task, now int64) Action
+}
+
+// Action is one step of a task's program.
+type Action interface{ isAction() }
+
+// Compute retires Work units of work (one unit = 1 ns on a speed-1.0
+// core).
+type Compute struct{ Work float64 }
+
+// Sleep takes the task off the run queue for the given duration
+// (nanosleep/usleep semantics).
+type Sleep struct{ D time.Duration }
+
+// WaitFor waits until the condition C is satisfied, using the given wait
+// policy. For WaitSpinThenBlock, Blocktime is the spin budget before
+// blocking (the OpenMP KMP_BLOCKTIME).
+type WaitFor struct {
+	C         Cond
+	Policy    WaitPolicy
+	Blocktime time.Duration
+}
+
+// Exit ends the task.
+type Exit struct{}
+
+func (Compute) isAction() {}
+func (Sleep) isAction()   {}
+func (WaitFor) isAction() {}
+func (Exit) isAction()    {}
+
+// WaitPolicy is how a task waits for a condition. The choice is the
+// load-balancer-visible difference between synchronization
+// implementations that the paper studies in §3 and §6: yielding tasks
+// stay on the run queue and count as load; sleeping tasks leave it.
+type WaitPolicy int
+
+const (
+	// WaitSpin polls continuously, burning CPU (OpenMP with
+	// KMP_BLOCKTIME=infinite; "INF" in the paper's figures).
+	WaitSpin WaitPolicy = iota
+	// WaitYield polls and calls sched_yield between checks (the default
+	// UPC and MPI barrier implementations). The task stays runnable.
+	WaitYield
+	// WaitPollSleep polls and calls usleep between checks (the paper's
+	// modified UPC runtime, "LOAD-SLEEP"). The task briefly leaves the
+	// run queue on every sleep.
+	WaitPollSleep
+	// WaitBlock blocks immediately until released.
+	WaitBlock
+	// WaitSpinThenBlock spins for a budget (KMP_BLOCKTIME, default
+	// 200 ms — "DEF" in the paper's figures), then blocks.
+	WaitSpinThenBlock
+)
+
+// String returns the conventional name of the policy.
+func (p WaitPolicy) String() string {
+	switch p {
+	case WaitSpin:
+		return "spin"
+	case WaitYield:
+		return "yield"
+	case WaitPollSleep:
+		return "poll-sleep"
+	case WaitBlock:
+		return "block"
+	case WaitSpinThenBlock:
+		return "spin-then-block"
+	}
+	return "invalid"
+}
+
+// Cond is a condition a task can wait for (a barrier, a lock, ...).
+// Implementations live outside this package (see spmd.Barrier).
+type Cond interface {
+	// Arrive registers the task's arrival at the condition. It returns
+	// true if the condition is satisfied immediately (e.g. last thread
+	// at a barrier), in which case the task proceeds without waiting.
+	// If false, the task waits; the condition must later call
+	// w.Release(t) exactly once for each waiting task.
+	Arrive(t *Task, w Waker) bool
+}
+
+// Waker is implemented by the machine; conditions use it to wake or
+// un-wait tasks when they become satisfied.
+type Waker interface {
+	// Release marks the condition satisfied for t: a blocked task is
+	// woken, a spinning/yielding/polling task completes its wait at its
+	// next check.
+	Release(t *Task)
+	// Now returns the current simulation time in nanoseconds.
+	Now() int64
+}
+
+// Seq is a Program that runs a fixed slice of actions once, then exits.
+type Seq struct {
+	Actions []Action
+	next    int
+}
+
+// Next implements Program.
+func (s *Seq) Next(t *Task, now int64) Action {
+	if s.next >= len(s.Actions) {
+		return Exit{}
+	}
+	a := s.Actions[s.next]
+	s.next++
+	return a
+}
+
+// Loop is a Program that repeats a body of actions for a fixed number of
+// iterations (forever if Iterations <= 0), then exits.
+type Loop struct {
+	Body       func(iter int) []Action
+	Iterations int
+
+	iter    int
+	pending []Action
+}
+
+// Next implements Program.
+func (l *Loop) Next(t *Task, now int64) Action {
+	for len(l.pending) == 0 {
+		if l.Iterations > 0 && l.iter >= l.Iterations {
+			return Exit{}
+		}
+		l.pending = l.Body(l.iter)
+		l.iter++
+	}
+	a := l.pending[0]
+	l.pending = l.pending[1:]
+	return a
+}
+
+// ComputeForever is a Program that computes without end — the "cpu-hog"
+// competing task from the paper's §6.3.
+type ComputeForever struct {
+	// Chunk is the work granularity per action; any positive value
+	// works, larger chunks mean fewer simulator events.
+	Chunk float64
+}
+
+// Next implements Program.
+func (c *ComputeForever) Next(t *Task, now int64) Action {
+	chunk := c.Chunk
+	if chunk <= 0 {
+		chunk = 1e9 // 1 simulated second
+	}
+	return Compute{Work: chunk}
+}

@@ -1,0 +1,171 @@
+package task
+
+import (
+	"testing"
+	"time"
+)
+
+// The weight table matches the kernel anchors: nice 0 = 1024, and each
+// step changes the share by ~25%.
+func TestNiceWeightTable(t *testing.T) {
+	if w := NiceWeight(0); w != 1024 {
+		t.Fatalf("NiceWeight(0) = %d", w)
+	}
+	if w := NiceWeight(-20); w != 88761 {
+		t.Errorf("NiceWeight(-20) = %d", w)
+	}
+	if w := NiceWeight(19); w != 15 {
+		t.Errorf("NiceWeight(19) = %d", w)
+	}
+	// Monotone decreasing.
+	for n := -20; n < 19; n++ {
+		if NiceWeight(n) <= NiceWeight(n+1) {
+			t.Errorf("weight not decreasing at nice %d", n)
+		}
+	}
+	// ~1.25x ratio per step in the middle of the table.
+	for n := -5; n < 5; n++ {
+		r := float64(NiceWeight(n)) / float64(NiceWeight(n+1))
+		if r < 1.15 || r > 1.35 {
+			t.Errorf("weight ratio at nice %d = %.3f, want ≈1.25", n, r)
+		}
+	}
+	// Clamping.
+	if NiceWeight(-100) != NiceWeight(-20) || NiceWeight(100) != NiceWeight(19) {
+		t.Error("clamping broken")
+	}
+}
+
+func TestSpeed(t *testing.T) {
+	if s := Speed(50*time.Millisecond, 100*time.Millisecond); s != 0.5 {
+		t.Errorf("Speed = %v, want 0.5", s)
+	}
+	if s := Speed(time.Second, 0); s != 0 {
+		t.Errorf("Speed with zero wall = %v, want 0", s)
+	}
+	if s := Speed(0, time.Second); s != 0 {
+		t.Errorf("Speed with zero exec = %v, want 0", s)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for st, want := range map[State]string{
+		New: "new", Runnable: "runnable", Running: "running",
+		Sleeping: "sleeping", Blocked: "blocked", Done: "done",
+	} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q", st, st.String())
+		}
+	}
+	if State(99).String() != "invalid" {
+		t.Error("unknown state not invalid")
+	}
+}
+
+func TestWaitPolicyString(t *testing.T) {
+	for p, want := range map[WaitPolicy]string{
+		WaitSpin: "spin", WaitYield: "yield", WaitPollSleep: "poll-sleep",
+		WaitBlock: "block", WaitSpinThenBlock: "spin-then-block",
+	} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+}
+
+func TestSeqProgram(t *testing.T) {
+	p := &Seq{Actions: []Action{Compute{Work: 1}, Sleep{D: 2}}}
+	if _, ok := p.Next(nil, 0).(Compute); !ok {
+		t.Fatal("first action not Compute")
+	}
+	if _, ok := p.Next(nil, 0).(Sleep); !ok {
+		t.Fatal("second action not Sleep")
+	}
+	if _, ok := p.Next(nil, 0).(Exit); !ok {
+		t.Fatal("exhausted Seq did not Exit")
+	}
+	if _, ok := p.Next(nil, 0).(Exit); !ok {
+		t.Fatal("Exit not sticky")
+	}
+}
+
+func TestLoopProgram(t *testing.T) {
+	calls := 0
+	p := &Loop{
+		Iterations: 3,
+		Body: func(iter int) []Action {
+			calls++
+			if iter != calls-1 {
+				t.Errorf("body iter = %d, want %d", iter, calls-1)
+			}
+			return []Action{Compute{Work: 1}, Compute{Work: 2}}
+		},
+	}
+	var seq []Action
+	for {
+		a := p.Next(nil, 0)
+		if _, done := a.(Exit); done {
+			break
+		}
+		seq = append(seq, a)
+		if len(seq) > 100 {
+			t.Fatal("Loop does not terminate")
+		}
+	}
+	if len(seq) != 6 || calls != 3 {
+		t.Errorf("got %d actions from %d body calls, want 6 from 3", len(seq), calls)
+	}
+}
+
+// A Loop body may return an empty slice; the loop must skip it rather
+// than return nothing.
+func TestLoopEmptyBody(t *testing.T) {
+	p := &Loop{
+		Iterations: 2,
+		Body: func(iter int) []Action {
+			if iter == 0 {
+				return nil
+			}
+			return []Action{Compute{Work: 5}}
+		},
+	}
+	if _, ok := p.Next(nil, 0).(Compute); !ok {
+		t.Error("empty body iteration not skipped")
+	}
+	if _, ok := p.Next(nil, 0).(Exit); !ok {
+		t.Error("loop did not exit after iterations")
+	}
+}
+
+func TestComputeForever(t *testing.T) {
+	p := &ComputeForever{Chunk: 7}
+	for i := 0; i < 10; i++ {
+		a, ok := p.Next(nil, 0).(Compute)
+		if !ok || a.Work != 7 {
+			t.Fatalf("action %d = %#v", i, a)
+		}
+	}
+	d := &ComputeForever{}
+	if a := d.Next(nil, 0).(Compute); a.Work <= 0 {
+		t.Error("default chunk not positive")
+	}
+}
+
+func TestTaskPredicates(t *testing.T) {
+	tk := &Task{State: Running}
+	if !tk.Runnable() {
+		t.Error("running task not runnable")
+	}
+	tk.State = Blocked
+	if tk.Runnable() {
+		t.Error("blocked task runnable")
+	}
+	tk.Affinity = 1 << 5
+	if !tk.Pinned() {
+		t.Error("single-core affinity not pinned")
+	}
+	tk.Affinity |= 1 << 6
+	if tk.Pinned() {
+		t.Error("two-core affinity pinned")
+	}
+}

@@ -1,0 +1,197 @@
+// Package timeline records and renders what a simulated machine did over
+// time: which task group occupied each core, per-core utilisation, and
+// an ASCII Gantt-style chart. It is a pure observer — a sampling actor
+// built on the public machine API — useful for demonstrating speed
+// balancing's thread rotation (e.g. `speedbalance -timeline`).
+package timeline
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Sample is one observation of one core.
+type Sample struct {
+	At    int64
+	Core  int
+	Group string // "" when idle
+	Name  string
+}
+
+// Recorder samples core occupancy at a fixed period.
+type Recorder struct {
+	// Period is the sampling interval (default 50 ms).
+	Period time.Duration
+	// Limit stops sampling after this many rounds (0 = unlimited).
+	Limit int
+
+	m       *sim.Machine
+	samples []Sample
+	rounds  int
+}
+
+// Start implements sim.Actor.
+func (r *Recorder) Start(m *sim.Machine) {
+	r.m = m
+	if r.Period == 0 {
+		r.Period = 50 * time.Millisecond
+	}
+	m.After(r.Period, r.tick)
+}
+
+func (r *Recorder) tick(now int64) {
+	r.rounds++
+	for _, c := range r.m.Cores {
+		s := Sample{At: now, Core: c.ID()}
+		if t := c.Current(); t != nil {
+			s.Group, s.Name = t.Group, t.Name
+		}
+		r.samples = append(r.samples, s)
+	}
+	if r.Limit == 0 || r.rounds < r.Limit {
+		r.m.After(r.Period, r.tick)
+	}
+}
+
+// Samples returns the raw observations in time order.
+func (r *Recorder) Samples() []Sample { return r.samples }
+
+// Utilisation returns, per core, the fraction of samples in which the
+// core was running anything.
+func (r *Recorder) Utilisation() []float64 {
+	if r.rounds == 0 {
+		return nil
+	}
+	busy := make([]int, len(r.m.Cores))
+	for _, s := range r.samples {
+		if s.Group != "" || s.Name != "" {
+			busy[s.Core]++
+		}
+	}
+	out := make([]float64, len(busy))
+	for i, b := range busy {
+		out[i] = float64(b) / float64(r.rounds)
+	}
+	return out
+}
+
+// Gantt renders an ASCII chart: one row per core, one column per sample
+// round, one letter per task group (idle = '.'). Wide runs are
+// downsampled to at most maxCols columns.
+func (r *Recorder) Gantt(w io.Writer, maxCols int) {
+	if r.rounds == 0 {
+		fmt.Fprintln(w, "(no samples)")
+		return
+	}
+	if maxCols <= 0 {
+		maxCols = 100
+	}
+	nc := len(r.m.Cores)
+	// grid[core][round] = group.
+	grid := make([][]string, nc)
+	for i := range grid {
+		grid[i] = make([]string, r.rounds)
+	}
+	round := map[int64]int{}
+	next := 0
+	for _, s := range r.samples {
+		ri, ok := round[s.At]
+		if !ok {
+			ri = next
+			round[s.At] = ri
+			next++
+		}
+		if ri < r.rounds {
+			grid[s.Core][ri] = s.Group
+		}
+	}
+	letters := r.legend()
+	step := 1
+	if r.rounds > maxCols {
+		step = (r.rounds + maxCols - 1) / maxCols
+	}
+	for c := 0; c < nc; c++ {
+		var b strings.Builder
+		fmt.Fprintf(&b, "core %2d ", c)
+		for ri := 0; ri < r.rounds; ri += step {
+			g := grid[c][ri]
+			if g == "" {
+				b.WriteByte('.')
+			} else {
+				b.WriteByte(letters[g])
+			}
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	// Legend, stable order.
+	var groups []string
+	for g := range letters {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	var b strings.Builder
+	b.WriteString("legend: .=idle")
+	for _, g := range groups {
+		fmt.Fprintf(&b, "  %c=%s", letters[g], g)
+	}
+	fmt.Fprintln(w, b.String())
+}
+
+// legend assigns a stable letter per group (a-z, then A-Z, then '#').
+func (r *Recorder) legend() map[string]byte {
+	var groups []string
+	seen := map[string]bool{}
+	for _, s := range r.samples {
+		if s.Group != "" && !seen[s.Group] {
+			seen[s.Group] = true
+			groups = append(groups, s.Group)
+		}
+	}
+	sort.Strings(groups)
+	out := make(map[string]byte, len(groups))
+	for i, g := range groups {
+		switch {
+		case i < 26:
+			out[g] = byte('a' + i)
+		case i < 52:
+			out[g] = byte('A' + i - 26)
+		default:
+			out[g] = '#'
+		}
+	}
+	return out
+}
+
+// Migrations counts, per task group, how many adjacent sample rounds saw
+// a group's thread on a different core set — a coarse rotation signal
+// (exact counts live in task.Migrations; this is render-side only).
+func (r *Recorder) GroupRotation(group string) int {
+	perRound := map[int64][]int{}
+	for _, s := range r.samples {
+		if s.Group == group {
+			perRound[s.At] = append(perRound[s.At], s.Core)
+		}
+	}
+	var ats []int64
+	for at := range perRound {
+		ats = append(ats, at)
+	}
+	sort.Slice(ats, func(i, j int) bool { return ats[i] < ats[j] })
+	changes := 0
+	var prev string
+	for _, at := range ats {
+		cores := perRound[at]
+		sort.Ints(cores)
+		key := fmt.Sprint(cores)
+		if prev != "" && key != prev {
+			changes++
+		}
+		prev = key
+	}
+	return changes
+}

