@@ -249,6 +249,32 @@ func BenchmarkAblationPullPolicy(b *testing.B) {
 	}
 }
 
+// Harness benchmarks: the same experiment grid executed serially and on
+// the worker pool. Compare ns/op between the pair to see the wall-clock
+// gain of `-parallel` on your host (on a ≥4-core machine the parallel
+// variant should be ≥2× faster; outputs are bit-identical either way —
+// see TestParallelDeterminism in internal/exp).
+
+// benchHarness runs the Figure 3 Tigerton grid at the given pool width.
+func benchHarness(b *testing.B, parallelism int) {
+	b.Helper()
+	e, err := exp.ByID("fig3t")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		ctx := benchCtx()
+		ctx.Parallelism = parallelism
+		e.Run(ctx)
+	}
+}
+
+// BenchmarkHarnessSerial runs the grid one cell at a time.
+func BenchmarkHarnessSerial(b *testing.B) { benchHarness(b, 1) }
+
+// BenchmarkHarnessParallel runs the same grid on 4 workers.
+func BenchmarkHarnessParallel(b *testing.B) { benchHarness(b, 4) }
+
 // Substrate micro-benchmarks: simulator throughput (events/sec) for the
 // canonical workload — useful when optimising the engine itself.
 

@@ -9,11 +9,15 @@
 //
 // Flags for run:
 //
-//	-reps N    repetitions per configuration (default 10, the paper's count)
-//	-scale K   divide workload sizes by K for quicker runs (default 1)
-//	-seed S    base RNG seed
-//	-csv DIR   also write each table as CSV under DIR
-//	-q         suppress progress logging
+//	-reps N      repetitions per configuration (default 10, the paper's count)
+//	-scale K     divide workload sizes by K for quicker runs (default 1)
+//	-seed S      base RNG seed
+//	-parallel P  worker goroutines for the (config × rep) grid
+//	             (default 0 = GOMAXPROCS); tables are bit-identical at any P
+//	-failfast    stop an experiment at the first run that overruns its
+//	             simulated time limit
+//	-csv DIR     also write each table as CSV under DIR
+//	-q           suppress progress logging
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -45,7 +50,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lbos list | lbos run [-reps N] [-scale K] [-seed S] [-csv DIR] [-q] <id>...|all")
+	fmt.Fprintln(os.Stderr, "usage: lbos list | lbos run [-reps N] [-scale K] [-seed S] [-parallel P] [-failfast] [-csv DIR] [-q] <id>...|all")
 }
 
 func list() {
@@ -59,6 +64,8 @@ func run(args []string) {
 	reps := fs.Int("reps", 10, "repetitions per configuration")
 	scale := fs.Int("scale", 1, "divide workload sizes by this factor")
 	seed := fs.Uint64("seed", 20100109, "base RNG seed")
+	parallel := fs.Int("parallel", 0, "worker goroutines for the experiment grid (0 = GOMAXPROCS)")
+	failfast := fs.Bool("failfast", false, "stop at the first run overrunning its simulated time limit")
 	csvDir := fs.String("csv", "", "write tables as CSV under this directory")
 	quiet := fs.Bool("q", false, "suppress progress logging")
 	fs.Parse(args)
@@ -82,9 +89,18 @@ func run(args []string) {
 		}
 	}
 
-	ctx := &exp.Context{Reps: *reps, Scale: *scale, Seed: *seed}
+	ctx := &exp.Context{
+		Reps: *reps, Scale: *scale, Seed: *seed,
+		Parallelism: *parallel, FailFast: *failfast,
+	}
 	if !*quiet {
 		ctx.Log = os.Stderr
+		workers := *parallel
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		fmt.Fprintf(os.Stderr, "lbos: %d reps, scale 1/%d, %d parallel workers\n",
+			*reps, *scale, workers)
 	}
 	for _, e := range exps {
 		start := time.Now()

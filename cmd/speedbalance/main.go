@@ -18,16 +18,23 @@
 //	-hog CORE         pin a cpu-hog competitor to CORE (-1: none)
 //	-makej N          run a make -j N competitor (0: none)
 //	-baseline         also run LOAD and PINNED for comparison
+//	-parallel N       worker pool for the independent runs (0: GOMAXPROCS)
 //	-timeline         print an ASCII core-occupancy chart
 //	-seed N           RNG seed
+//
+// With -baseline the three runs (SPEED, LOAD, PINNED) are independent
+// simulations; -parallel fans them over a worker pool. Each run owns its
+// machine and seed, so the report is byte-identical at any pool width.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	lbos "repro"
@@ -47,9 +54,15 @@ func main() {
 	hog := flag.Int("hog", -1, "pin a cpu-hog to this core")
 	makej := flag.Int("makej", 0, "make -j width competitor")
 	baseline := flag.Bool("baseline", false, "also run LOAD and PINNED")
+	parallel := flag.Int("parallel", 0, "worker pool for independent runs (0: GOMAXPROCS)")
 	showTimeline := flag.Bool("timeline", false, "print an ASCII core-occupancy chart")
 	seed := flag.Uint64("seed", 1, "RNG seed")
 	flag.Parse()
+
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
 	tp, err := machineByName(*machine)
 	if err != nil {
@@ -87,18 +100,77 @@ func main() {
 		}
 	}
 
-	// SPEED run with the per-thread report.
-	sys := lbos.NewSystem(tp(), lbos.WithSeed(*seed))
-	setup(sys)
-	var rec *timeline.Recorder
-	if *showTimeline {
-		rec = &timeline.Recorder{}
-		sys.Machine().AddActor(rec)
+	// The SPEED run and the optional baselines are independent
+	// simulations, each with its own machine and seed: fan them over the
+	// worker pool and print in fixed order afterwards.
+	type baseRes struct {
+		name    string
+		elapsed time.Duration
+		speedup float64
 	}
-	app := sys.BuildApp(spec)
-	bal := speedbal.New(cfg)
-	bal.Launch(sys.Machine(), app)
-	sys.RunUntil(app)
+	var (
+		app *lbos.App
+		bal = speedbal.New(cfg)
+		rec *timeline.Recorder
+	)
+	runs := []func(){func() {
+		sys := lbos.NewSystem(tp(), lbos.WithSeed(*seed))
+		setup(sys)
+		if *showTimeline {
+			rec = &timeline.Recorder{}
+			sys.Machine().AddActor(rec)
+		}
+		app = sys.BuildApp(spec)
+		bal.Launch(sys.Machine(), app)
+		sys.RunUntil(app)
+	}}
+	var bases []baseRes
+	if *baseline {
+		bases = make([]baseRes, 2)
+		for i, b := range []string{"LOAD", "PINNED"} {
+			i, b := i, b
+			runs = append(runs, func() {
+				sys := lbos.NewSystem(tp(), lbos.WithSeed(*seed))
+				setup(sys)
+				var a *lbos.App
+				if b == "LOAD" {
+					a = sys.StartApp(spec)
+				} else {
+					a = sys.StartPinned(spec)
+				}
+				sys.RunUntil(a)
+				bases[i] = baseRes{b, a.Elapsed(), a.Speedup()}
+			})
+		}
+	}
+
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	finished := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runs[i]()
+				if len(runs) > 1 {
+					progressMu.Lock()
+					finished++
+					fmt.Fprintf(os.Stderr, "speedbalance: %d/%d runs done\n", finished, len(runs))
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range runs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
 
 	fmt.Printf("speedbalance: %d threads on %s (%d cores allowed), %s barriers\n",
 		*threads, *machine, aff.Count(), mdl.Name)
@@ -126,18 +198,9 @@ func main() {
 
 	if *baseline {
 		fmt.Println()
-		for _, b := range []string{"LOAD", "PINNED"} {
-			sys := lbos.NewSystem(tp(), lbos.WithSeed(*seed))
-			setup(sys)
-			var a *lbos.App
-			if b == "LOAD" {
-				a = sys.StartApp(spec)
-			} else {
-				a = sys.StartPinned(spec)
-			}
-			sys.RunUntil(a)
+		for _, b := range bases {
 			fmt.Printf("  %-7s elapsed %v   speedup %.2f\n",
-				b+":", a.Elapsed().Round(time.Millisecond), a.Speedup())
+				b.name+":", b.elapsed.Round(time.Millisecond), b.speedup)
 		}
 	}
 }

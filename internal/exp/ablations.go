@@ -73,12 +73,13 @@ func runAblTs(ctx *Context) []*Table {
 		Title:   "Speed threshold sweep (EP, 16 threads / 10 cores, Tigerton)",
 		Columns: []string{"T_s", "speedup", "migrations", "balanced-run migrations"},
 	}
+	run := NewRunner(ctx)
 	config := 7000
 	for _, ts := range []float64{0.5, 0.7, 0.8, 0.9, 0.95, 0.999} {
 		cfg := speedbal.DefaultConfig()
 		cfg.Threshold = ts
-		var sp, mig, migBal stats.Sample
-		Repeat(ctx, config, RunOpts{
+		sp, mig, migBal := &stats.Sample{}, &stats.Sample{}, &stats.Sample{}
+		run.Repeat(config, RunOpts{
 			Topo: topo.Tigerton, Strategy: StratSpeed, Spec: ablEP(ctx), SpeedCfg: &cfg,
 		}, func(_ int, r RunResult) {
 			sp.Add(r.Speedup)
@@ -88,13 +89,16 @@ func runAblTs(ctx *Context) []*Table {
 		// Balanced control: 16 threads on 16 cores — any migration is
 		// spurious noise-chasing.
 		balSpec := ScaleSpec(ctx, npb.EP.Spec(16, spmd.UPC(), cpuset.All(16)))
-		Repeat(ctx, config, RunOpts{
+		run.Repeat(config, RunOpts{
 			Topo: topo.Tigerton, Strategy: StratSpeed, Spec: balSpec, SpeedCfg: &cfg,
 		}, func(_ int, r RunResult) { migBal.Add(float64(r.SpeedbalMigrations)) })
 		config++
-		t.AddRow(fmt.Sprintf("%.3g", ts), sp.Mean(), mig.Mean(), migBal.Mean())
-		ctx.Logf("abl-ts: T_s=%.3g done", ts)
+		run.Then(func() {
+			t.AddRow(fmt.Sprintf("%.3g", ts), sp.Mean(), mig.Mean(), migBal.Mean())
+			ctx.Logf("abl-ts: T_s=%.3g done", ts)
+		})
 	}
+	run.Wait()
 	return []*Table{t}
 }
 
@@ -104,6 +108,7 @@ func runAblInterval(ctx *Context) []*Table {
 		Columns: []string{"interval", "EP 16/10 speedup", "EP migrations",
 			"ft.B 16/10 time s", "ft migrations"},
 	}
+	run := NewRunner(ctx)
 	config := 7100
 	for _, iv := range []time.Duration{
 		10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
@@ -111,8 +116,8 @@ func runAblInterval(ctx *Context) []*Table {
 	} {
 		cfg := speedbal.DefaultConfig()
 		cfg.Interval = iv
-		var ep, epm, ft, ftm stats.Sample
-		Repeat(ctx, config, RunOpts{
+		ep, epm, ft, ftm := &stats.Sample{}, &stats.Sample{}, &stats.Sample{}, &stats.Sample{}
+		run.Repeat(config, RunOpts{
 			Topo: topo.Tigerton, Strategy: StratSpeed, Spec: ablEP(ctx), SpeedCfg: &cfg,
 		}, func(_ int, r RunResult) {
 			ep.Add(r.Speedup)
@@ -120,16 +125,19 @@ func runAblInterval(ctx *Context) []*Table {
 		})
 		config++
 		ftSpec := ScaleSpec(ctx, npb.FT.Spec(16, spmd.UPC(), cpuset.All(10)))
-		Repeat(ctx, config, RunOpts{
+		run.Repeat(config, RunOpts{
 			Topo: topo.Tigerton, Strategy: StratSpeed, Spec: ftSpec, SpeedCfg: &cfg,
 		}, func(_ int, r RunResult) {
 			ft.AddDuration(r.Elapsed)
 			ftm.Add(float64(r.SpeedbalMigrations))
 		})
 		config++
-		t.AddRow(fmt.Sprintf("%v", iv), ep.Mean(), epm.Mean(), ft.Mean(), ftm.Mean())
-		ctx.Logf("abl-int: %v done", iv)
+		run.Then(func() {
+			t.AddRow(fmt.Sprintf("%v", iv), ep.Mean(), epm.Mean(), ft.Mean(), ftm.Mean())
+			ctx.Logf("abl-int: %v done", iv)
+		})
 	}
+	run.Wait()
 	t.Note("EP migrations are ~free (tiny RSS); ft.B pays ~hundreds of µs warmup per move")
 	return []*Table{t}
 }
@@ -139,12 +147,13 @@ func runAblJitter(ctx *Context) []*Table {
 		Title:   "Jitter on/off (EP, 16 threads / 10 cores, Tigerton)",
 		Columns: []string{"jitter", "speedup", "variation %", "migrations"},
 	}
+	run := NewRunner(ctx)
 	config := 7200
 	for _, jit := range []bool{true, false} {
 		cfg := speedbal.DefaultConfig()
 		cfg.Jitter = jit
-		var sp, rt, mig stats.Sample
-		Repeat(ctx, config, RunOpts{
+		sp, rt, mig := &stats.Sample{}, &stats.Sample{}, &stats.Sample{}
+		run.Repeat(config, RunOpts{
 			Topo: topo.Tigerton, Strategy: StratSpeed, Spec: ablEP(ctx), SpeedCfg: &cfg,
 		}, func(_ int, r RunResult) {
 			sp.Add(r.Speedup)
@@ -152,8 +161,11 @@ func runAblJitter(ctx *Context) []*Table {
 			mig.Add(float64(r.SpeedbalMigrations))
 		})
 		config++
-		t.AddRow(fmt.Sprintf("%v", jit), sp.Mean(), rt.VariationPct(), mig.Mean())
+		run.Then(func() {
+			t.AddRow(fmt.Sprintf("%v", jit), sp.Mean(), rt.VariationPct(), mig.Mean())
+		})
 	}
+	run.Wait()
 	return []*Table{t}
 }
 
@@ -162,13 +174,14 @@ func runAblNUMA(ctx *Context) []*Table {
 		Title:   "NUMA blocking on Barcelona (ft.B, 16 threads / 10 cores)",
 		Columns: []string{"block NUMA", "time s", "speedup", "migrations"},
 	}
+	run := NewRunner(ctx)
 	config := 7300
 	for _, block := range []bool{true, false} {
 		cfg := speedbal.DefaultConfig()
 		cfg.BlockNUMA = block
 		spec := ScaleSpec(ctx, npb.FT.Spec(16, spmd.UPC(), cpuset.All(10)))
-		var rt, sp, mig stats.Sample
-		Repeat(ctx, config, RunOpts{
+		rt, sp, mig := &stats.Sample{}, &stats.Sample{}, &stats.Sample{}
+		run.Repeat(config, RunOpts{
 			Topo: topo.Barcelona, Strategy: StratSpeed, Spec: spec, SpeedCfg: &cfg,
 		}, func(_ int, r RunResult) {
 			rt.AddDuration(r.Elapsed)
@@ -176,9 +189,12 @@ func runAblNUMA(ctx *Context) []*Table {
 			mig.Add(float64(r.SpeedbalMigrations))
 		})
 		config++
-		t.AddRow(fmt.Sprintf("%v", block), rt.Mean(), sp.Mean(), mig.Mean())
-		ctx.Logf("abl-numa: block=%v done", block)
+		run.Then(func() {
+			t.AddRow(fmt.Sprintf("%v", block), rt.Mean(), sp.Mean(), mig.Mean())
+			ctx.Logf("abl-numa: block=%v done", block)
+		})
 	}
+	run.Wait()
 	t.Note("ft.B threads first-touch their pages on the starting node; cross-node moves run at the remote-memory penalty thereafter")
 	return []*Table{t}
 }
@@ -196,12 +212,13 @@ func runAblPull(ctx *Context) []*Table {
 		{"random", speedbal.PullRandom},
 		{"most-migrated", speedbal.PullMostMigrated},
 	}
+	run := NewRunner(ctx)
 	config := 7400
 	for _, pol := range policies {
 		cfg := speedbal.DefaultConfig()
 		cfg.PullPolicy = pol.p
-		var sp, mig, maxm stats.Sample
-		Repeat(ctx, config, RunOpts{
+		sp, mig, maxm := &stats.Sample{}, &stats.Sample{}, &stats.Sample{}
+		run.Repeat(config, RunOpts{
 			Topo: topo.Tigerton, Strategy: StratSpeed, Spec: ablEP(ctx), SpeedCfg: &cfg,
 		}, func(_ int, r RunResult) {
 			sp.Add(r.Speedup)
@@ -215,7 +232,10 @@ func runAblPull(ctx *Context) []*Table {
 			maxm.Add(float64(mm))
 		})
 		config++
-		t.AddRow(pol.name, sp.Mean(), mig.Mean(), maxm.Mean())
+		run.Then(func() {
+			t.AddRow(pol.name, sp.Mean(), mig.Mean(), maxm.Mean())
+		})
 	}
+	run.Wait()
 	return []*Table{t}
 }

@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderAll concatenates an experiment's rendered tables — the exact
+// bytes `lbos run` prints.
+func renderAll(tables []*Table) string {
+	var b strings.Builder
+	for _, t := range tables {
+		t.Render(&b)
+	}
+	return b.String()
+}
+
+// TestParallelDeterminism is the reproducibility guarantee of the
+// harness: for a sample of experiments the rendered output is
+// byte-identical across Parallelism ∈ {1, 2, 8} and across repeated
+// runs with the same seed.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism regression test skipped in short mode")
+	}
+	ids := []string{"fig1", "table1", "abl-jit"}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			render := func(par int) string {
+				ctx := &Context{Reps: 2, Scale: 32, Seed: 20100109, Parallelism: par}
+				return renderAll(e.Run(ctx))
+			}
+			base := render(1)
+			if base == "" {
+				t.Fatal("empty render")
+			}
+			for _, par := range []int{2, 8} {
+				if got := render(par); got != base {
+					t.Errorf("output differs between Parallelism 1 and %d:\n--- parallel=1 ---\n%s--- parallel=%d ---\n%s",
+						par, base, par, got)
+				}
+			}
+			// Same seed, same parallelism, second run: repeatability.
+			if got := render(1); got != base {
+				t.Errorf("repeated run with identical seed differs:\n--- first ---\n%s--- second ---\n%s", base, got)
+			}
+		})
+	}
+}
+
+// TestParallelDeterminismAcrossSeeds guards against the grid sharing RNG
+// state between cells: changing the base seed must change measured
+// experiment output (abl-jit tabulates run-time variation, which is
+// seed-sensitive), while each seed stays self-consistent.
+func TestParallelDeterminismAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism regression test skipped in short mode")
+	}
+	e, err := ByID("abl-jit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(seed uint64) string {
+		ctx := &Context{Reps: 2, Scale: 32, Seed: seed, Parallelism: 4}
+		return renderAll(e.Run(ctx))
+	}
+	a, b := render(1), render(2)
+	if a2 := render(1); a2 != a {
+		t.Error("seed 1 not repeatable")
+	}
+	if a == b {
+		t.Error("different base seeds produced identical measured output")
+	}
+}

@@ -11,7 +11,9 @@ package exp
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Context carries run-wide settings into experiments.
@@ -25,8 +27,25 @@ type Context struct {
 	// Seed is the base RNG seed; repetition r of configuration k uses a
 	// deterministic function of (Seed, k, r).
 	Seed uint64
+	// Parallelism is the number of worker goroutines the experiment
+	// Runner uses for the (configuration × repetition) grid (0 or
+	// negative = GOMAXPROCS). Each cell is an isolated single-threaded
+	// simulation seeded by seedFor, and results are aggregated in
+	// submission order, so rendered tables are bit-identical at every
+	// parallelism level.
+	Parallelism int
+	// FailFast cancels an experiment's remaining cells as soon as one
+	// run overruns its simulated time limit, instead of tabulating the
+	// truncated value; the Runner then panics with a description of the
+	// overrun cell.
+	FailFast bool
 	// Log receives progress lines (nil discards).
 	Log io.Writer
+
+	// logMu serialises Logf writes: cells complete on worker
+	// goroutines, and experiments log from result callbacks while the
+	// Runner logs its own progress.
+	logMu sync.Mutex
 }
 
 // DefaultContext returns paper-scale settings: 10 repetitions, scale 1.
@@ -39,11 +58,23 @@ func QuickContext() *Context {
 	return &Context{Reps: 3, Scale: 8, Seed: 20100109}
 }
 
-// Logf writes a progress line.
+// Logf writes a progress line. It is safe for concurrent use: lines
+// from parallel cells are serialised, never interleaved.
 func (c *Context) Logf(format string, args ...any) {
-	if c.Log != nil {
-		fmt.Fprintf(c.Log, format+"\n", args...)
+	if c.Log == nil {
+		return
 	}
+	c.logMu.Lock()
+	defer c.logMu.Unlock()
+	fmt.Fprintf(c.Log, format+"\n", args...)
+}
+
+// parallelism resolves the effective worker count.
+func (c *Context) parallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Experiment regenerates one paper artifact.

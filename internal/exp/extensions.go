@@ -84,10 +84,11 @@ func runExtSMT(ctx *Context) []*Table {
 		{"SPEED", &plain, StratSpeed},
 		{"SPEED smt-aware", &aware, StratSpeed},
 	}
+	run := NewRunner(ctx)
 	config := 8000
 	for _, r := range rows {
-		var el, sp, mig stats.Sample
-		Repeat(ctx, config, RunOpts{
+		el, sp, mig := &stats.Sample{}, &stats.Sample{}, &stats.Sample{}
+		run.Repeat(config, RunOpts{
 			Topo: topo.Nehalem, Strategy: r.st, Spec: spec, SpeedCfg: r.cfg,
 		}, func(_ int, res RunResult) {
 			el.AddDuration(res.Elapsed)
@@ -95,9 +96,12 @@ func runExtSMT(ctx *Context) []*Table {
 			mig.Add(float64(res.AppMigrations))
 		})
 		config++
-		t.AddRow(r.name, el.Mean(), sp.Mean(), mig.Mean())
-		ctx.Logf("ext-smt: %s done", r.name)
+		run.Then(func() {
+			t.AddRow(r.name, el.Mean(), sp.Mean(), mig.Mean())
+			ctx.Logf("ext-smt: %s done", r.name)
+		})
 	}
+	run.Wait()
 	t.Note("capacity with 4 dual-occupied physical cores is 8×0.65 + 4×1.0 = 9.2 of 12")
 	return []*Table{t}
 }
@@ -112,20 +116,28 @@ func runExtMeasure(ctx *Context) []*Table {
 		Model: spmd.UPC(), RSSBytes: 1 << 20, MemIntensity: 0.9,
 		Affinity: cpuset.Range(0, 8),
 	})
+	run := NewRunner(ctx)
 	config := 8100
 	for _, meas := range []speedbal.Measure{speedbal.MeasureCPUShare, speedbal.MeasureWorkRate} {
-		var el, mig stats.Sample
+		el, mig := &stats.Sample{}, &stats.Sample{}
 		// The run needs custom wiring (clumped start, machine-wide
-		// managed set), so drive the machine directly.
+		// managed set), so submit a custom run function per repetition.
 		for rep := 0; rep < ctx.Reps; rep++ {
-			res := runClumpedMeasure(spec, meas, seedFor(ctx.Seed, config, rep))
-			el.Add(res.seconds)
-			mig.Add(float64(res.migrations))
+			seed := seedFor(ctx.Seed, config, rep)
+			run.SubmitFunc(fmt.Sprintf("ext-measure %s rep %d", meas, rep),
+				func() RunResult { return runClumpedMeasure(spec, meas, seed) },
+				func(res RunResult) {
+					el.Add(res.Elapsed.Seconds())
+					mig.Add(float64(res.SpeedbalMigrations))
+				})
 		}
 		config++
-		t.AddRow(meas.String(), el.Mean(), mig.Mean())
-		ctx.Logf("ext-measure: %s done", meas)
+		run.Then(func() {
+			t.AddRow(meas.String(), el.Mean(), mig.Mean())
+			ctx.Logf("ext-measure: %s done", meas)
+		})
 	}
+	run.Wait()
 	t.Note("clumped: 4 mem-bound threads per FSB run at f = 0.35; spread across 4 sockets f = 0.6")
 	return []*Table{t}
 }
@@ -152,10 +164,11 @@ func runExtSwap(ctx *Context) []*Table {
 		{"SPEED (pull-only)", StratSpeed, nil},
 		{"SPEED + swaps", StratSpeed, &swap},
 	}
+	run := NewRunner(ctx)
 	config := 8200
 	for _, r := range rows {
-		var el, sw stats.Sample
-		Repeat(ctx, config, RunOpts{
+		el, sw := &stats.Sample{}, &stats.Sample{}
+		run.Repeat(config, RunOpts{
 			Topo:     func() *topo.Topology { return topo.Asymmetric(speeds) },
 			Strategy: r.st, Spec: spec, SpeedCfg: r.cfg,
 		}, func(_ int, res RunResult) {
@@ -163,22 +176,20 @@ func runExtSwap(ctx *Context) []*Table {
 			sw.Add(float64(res.Stats.Migrations["speedbal-swap"]) / 2)
 		})
 		config++
-		t.AddRow(r.name, el.Mean(), sw.Mean())
-		ctx.Logf("ext-swap: %s done", r.name)
+		run.Then(func() {
+			t.AddRow(r.name, el.Mean(), sw.Mean())
+			ctx.Logf("ext-swap: %s done", r.name)
+		})
 	}
+	run.Wait()
 	t.Note(fmt.Sprintf("per-thread work %.3gs; ideal elapsed = 8·W/10", spec.WorkPerIteration/1e9))
 	return []*Table{t}
-}
-
-type clumpedResult struct {
-	seconds    float64
-	migrations int
 }
 
 // runClumpedMeasure starts the app pinned on its (restricted) affinity,
 // then widens the managed set to the whole machine — the measure under
 // test decides whether the balancer discovers the free sockets.
-func runClumpedMeasure(spec spmd.Spec, meas speedbal.Measure, seed uint64) clumpedResult {
+func runClumpedMeasure(spec spmd.Spec, meas speedbal.Measure, seed uint64) RunResult {
 	m := sim.New(topo.Tigerton(), sim.Config{Seed: seed, NewScheduler: cfs.Factory()})
 	app := spmd.Build(m, spec)
 	app.OnDone(func(*spmd.App) { m.Stop() })
@@ -192,8 +203,13 @@ func runClumpedMeasure(spec spmd.Spec, meas speedbal.Measure, seed uint64) clump
 	sb.Manage(m, app.Tasks, m.Topo.AllCores())
 	m.AddActor(sb)
 	m.Run(int64(2000 * time.Second))
-	return clumpedResult{
-		seconds:    app.Elapsed().Seconds(),
-		migrations: sb.Migrations,
+	return RunResult{
+		Elapsed:            app.Elapsed(),
+		Speedup:            app.Speedup(),
+		SpeedbalMigrations: sb.Migrations,
+		Stats:              m.Stats,
+		App:                app,
+		Machine:            m,
+		Truncated:          !app.Done(),
 	}
 }

@@ -54,6 +54,7 @@ func runFig2(ctx *Context) []*Table {
 		Columns: cols,
 	}
 
+	run := NewRunner(ctx)
 	config := 0
 	for _, grain := range grains {
 		iters := int(totalWork / float64(grain))
@@ -72,30 +73,36 @@ func runFig2(ctx *Context) []*Table {
 			Affinity:         cpuset.All(2),
 		}
 		ideal := 1.5 * float64(iters) * float64(grain)
-		row := []any{fmt.Sprintf("%v", grain)}
 
-		var load stats.Sample
-		Repeat(ctx, config, RunOpts{
+		load := &stats.Sample{}
+		run.Repeat(config, RunOpts{
 			Topo:     func() *topo.Topology { return topo.SMP(2) },
 			Strategy: StratLoad, Spec: spec,
 		}, func(_ int, r RunResult) { load.Add(float64(r.Elapsed) / ideal) })
 		config++
-		row = append(row, load.Mean())
 
-		for _, b := range intervals {
+		speeds := make([]*stats.Sample, len(intervals))
+		for i, b := range intervals {
 			cfg := speedbal.DefaultConfig()
 			cfg.Interval = b
-			var s stats.Sample
-			Repeat(ctx, config, RunOpts{
+			s := &stats.Sample{}
+			speeds[i] = s
+			run.Repeat(config, RunOpts{
 				Topo:     func() *topo.Topology { return topo.SMP(2) },
 				Strategy: StratSpeed, Spec: spec, SpeedCfg: &cfg,
 			}, func(_ int, r RunResult) { s.Add(float64(r.Elapsed) / ideal) })
 			config++
-			row = append(row, s.Mean())
 		}
-		t.AddRow(row...)
-		ctx.Logf("fig2: S=%v done", grain)
+		run.Then(func() {
+			row := []any{fmt.Sprintf("%v", grain), load.Mean()}
+			for _, s := range speeds {
+				row = append(row, s.Mean())
+			}
+			t.AddRow(row...)
+			ctx.Logf("fig2: S=%v done", grain)
+		})
 	}
+	run.Wait()
 	t.Note("total compute per thread %.3gs; ideal = perfect 3-way split over 2 cores", totalWork/1e9)
 	t.Note("paper deviation: the paper sweeps S in tens of µs where its measured spread (1.1–1.3) depends on kernel yield quirks we do not model; per Lemma 1, S ≪ B rows must sit at ≈1.33 (2S lockstep) for every balancer, and the S ≫ B rows approach 1.0")
 	return []*Table{t}

@@ -61,18 +61,20 @@ func runFig3(ctx *Context, machine func() *topo.Topology) []*Table {
 	vt := &Table{Title: "EP class C run-time variation % (max/min - 1)", Columns: cols}
 
 	bench := npb.EP
+	run := NewRunner(ctx)
 	config := 0
 	for _, n := range coreCounts {
-		row := []any{fmt.Sprintf("%d", n)}
-		vrow := []any{fmt.Sprintf("%d", n)}
-		for _, s := range series {
+		sps := make([]*stats.Sample, len(series))
+		rts := make([]*stats.Sample, len(series))
+		for i, s := range series {
 			threads := 16
 			if s.onePerCore {
 				threads = n
 			}
 			spec := ScaleSpec(ctx, bench.Spec(threads, s.model, cpuset.All(n)))
-			var sp, rt stats.Sample
-			Repeat(ctx, config, RunOpts{
+			sp, rt := &stats.Sample{}, &stats.Sample{}
+			sps[i], rts[i] = sp, rt
+			run.Repeat(config, RunOpts{
 				Topo: machine, Strategy: s.strat, Spec: spec,
 			}, func(_ int, r RunResult) {
 				// Normalise one-per-core speedup to the 16-thread
@@ -85,13 +87,20 @@ func runFig3(ctx *Context, machine func() *topo.Topology) []*Table {
 				rt.AddDuration(r.Elapsed)
 			})
 			config++
-			row = append(row, sp.Mean())
-			vrow = append(vrow, rt.VariationPct())
 		}
-		tb.AddRow(row...)
-		vt.AddRow(vrow...)
-		ctx.Logf("fig3(%s): %d cores done", machine().Name, n)
+		run.Then(func() {
+			row := []any{fmt.Sprintf("%d", n)}
+			vrow := []any{fmt.Sprintf("%d", n)}
+			for i := range series {
+				row = append(row, sps[i].Mean())
+				vrow = append(vrow, rts[i].VariationPct())
+			}
+			tb.AddRow(row...)
+			vt.AddRow(vrow...)
+			ctx.Logf("fig3(%s): %d cores done", machine().Name, n)
+		})
 	}
+	run.Wait()
 	tb.Note("machine: %s; EP = one compute phase + final barrier; 16 threads except One-per-core", machine().Name)
 	return []*Table{tb, vt}
 }

@@ -48,6 +48,7 @@ func runSuite(ctx *Context) *suiteData {
 		cores:   []int{4, 6, 8, 10, 12, 14, 16},
 		times:   map[string]map[int]map[Strategy]*stats.Sample{},
 	}
+	run := NewRunner(ctx)
 	config := 1000
 	for _, b := range d.benches {
 		d.times[b.Name] = map[int]map[Strategy]*stats.Sample{}
@@ -56,15 +57,16 @@ func runSuite(ctx *Context) *suiteData {
 			spec := ScaleSpec(ctx, b.Spec(16, spmd.UPC(), cpuset.All(n)))
 			for _, st := range fig4Strategies {
 				s := &stats.Sample{}
-				Repeat(ctx, config, RunOpts{
+				d.times[b.Name][n][st] = s
+				run.Repeat(config, RunOpts{
 					Topo: topo.Tigerton, Strategy: st, Spec: spec,
 				}, func(_ int, r RunResult) { s.AddDuration(r.Elapsed) })
 				config++
-				d.times[b.Name][n][st] = s
 			}
-			ctx.Logf("suite: %s on %d cores done", b.Name, n)
+			run.Then(func() { ctx.Logf("suite: %s on %d cores done", b.Name, n) })
 		}
 	}
+	run.Wait()
 	return d
 }
 

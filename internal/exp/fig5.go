@@ -46,34 +46,43 @@ func runFig5(ctx *Context) []*Table {
 	}
 
 	hog := func(m *sim.Machine) { competing.CPUHog(m, 0) }
+	run := NewRunner(ctx)
 	config := 2000
 	for _, n := range coreCounts {
-		// With fair sharing, the hog is entitled to ~half of core 0
-		// while the app saturates it, so the app's ideal capacity is
-		// n − 0.5 cores.
-		row := []any{fmt.Sprintf("%d", n), float64(n) - 0.5}
-		vrow := []any{fmt.Sprintf("%d", n)}
-		for _, s := range series {
+		sps := make([]*stats.Sample, len(series))
+		rts := make([]*stats.Sample, len(series))
+		for i, s := range series {
 			threads := 16
 			if s.onePerCore {
 				threads = n
 			}
 			spec := ScaleSpec(ctx, npb.EP.Spec(threads, s.model, cpuset.All(n)))
-			var sp, rt stats.Sample
-			Repeat(ctx, config, RunOpts{
+			sp, rt := &stats.Sample{}, &stats.Sample{}
+			sps[i], rts[i] = sp, rt
+			run.Repeat(config, RunOpts{
 				Topo: topo.Tigerton, Strategy: s.strat, Spec: spec, Setup: hog,
 			}, func(_ int, r RunResult) {
 				sp.Add(r.Speedup)
 				rt.AddDuration(r.Elapsed)
 			})
 			config++
-			row = append(row, sp.Mean())
-			vrow = append(vrow, rt.VariationPct())
 		}
-		tb.AddRow(row...)
-		vt.AddRow(vrow...)
-		ctx.Logf("fig5: %d cores done", n)
+		run.Then(func() {
+			// With fair sharing, the hog is entitled to ~half of core 0
+			// while the app saturates it, so the app's ideal capacity is
+			// n − 0.5 cores.
+			row := []any{fmt.Sprintf("%d", n), float64(n) - 0.5}
+			vrow := []any{fmt.Sprintf("%d", n)}
+			for i := range series {
+				row = append(row, sps[i].Mean())
+				vrow = append(vrow, rts[i].VariationPct())
+			}
+			tb.AddRow(row...)
+			vt.AddRow(vrow...)
+			ctx.Logf("fig5: %d cores done", n)
+		})
 	}
+	run.Wait()
 	tb.Note("the cpu-hog is a compute-only task pinned to core 0 for the whole run; 17 tasks total at 16 threads — a prime, so no static balance exists")
 	return []*Table{tb, vt}
 }

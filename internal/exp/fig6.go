@@ -37,28 +37,37 @@ func runFig6(ctx *Context) []*Table {
 		Columns: cols,
 	}
 
+	run := NewRunner(ctx)
 	config := 3000
 	for _, b := range benches {
-		row := []any{b.Name}
-		for _, w := range widths {
+		sps := make([]*stats.Sample, len(widths))
+		lbs := make([]*stats.Sample, len(widths))
+		for i, w := range widths {
 			spec := ScaleSpec(ctx, b.Spec(16, spmd.UPC(), cpuset.All(16)))
 			mk := func(m *sim.Machine) {
 				m.AddActor(&competing.MakeJ{Width: w, Duration: time.Hour})
 			}
-			var sp, lb stats.Sample
-			Repeat(ctx, config, RunOpts{
+			sp, lb := &stats.Sample{}, &stats.Sample{}
+			sps[i], lbs[i] = sp, lb
+			run.Repeat(config, RunOpts{
 				Topo: topo.Tigerton, Strategy: StratSpeed, Spec: spec, Setup: mk,
 			}, func(_ int, r RunResult) { sp.AddDuration(r.Elapsed) })
 			config++
-			Repeat(ctx, config, RunOpts{
+			run.Repeat(config, RunOpts{
 				Topo: topo.Tigerton, Strategy: StratLoad, Spec: spec, Setup: mk,
 			}, func(_ int, r RunResult) { lb.AddDuration(r.Elapsed) })
 			config++
-			row = append(row, sp.Mean()/lb.Mean())
-			ctx.Logf("fig6: %s -j%d done", b.Name, w)
+			run.Then(func() { ctx.Logf("fig6: %s -j%d done", b.Name, w) })
 		}
-		t.AddRow(row...)
+		run.Then(func() {
+			row := []any{b.Name}
+			for i := range widths {
+				row = append(row, sps[i].Mean()/lbs[i].Mean())
+			}
+			t.AddRow(row...)
+		})
 	}
+	run.Wait()
 	t.Note("make -j keeps its job width in flight for the whole run (jobs compute, sleep on I/O, exit and respawn); jobs are unpinned and balanced by the OS in both configurations")
 	return []*Table{t}
 }

@@ -47,15 +47,17 @@ func runFig4OMP(ctx *Context) []*Table {
 		Columns: []string{"benchmark", "LB_INF/LB_DEF", "SB_INF/LB_INF", "SB_DEF/LB_DEF",
 			"SB_INF var%", "LB_INF var%"},
 	}
+	rn := NewRunner(ctx)
 	config := 5000
 	var aInf, aDef, aSbInf, aSbDef stats.Sample
 	for _, b := range benches {
-		var rInfDef, rSbLb, rSbDefLbDef, varS, varL stats.Sample
+		rInfDef, rSbLb, rSbDefLbDef := &stats.Sample{}, &stats.Sample{}, &stats.Sample{}
+		varS, varL := &stats.Sample{}, &stats.Sample{}
 		for _, n := range coreCounts {
 			run := func(strat Strategy, model spmd.Model) *stats.Sample {
 				s := &stats.Sample{}
 				spec := ScaleSpec(ctx, b.Spec(16, model, cpuset.All(n)))
-				Repeat(ctx, config, RunOpts{
+				rn.Repeat(config, RunOpts{
 					Topo: topo.Tigerton, Strategy: strat, Spec: spec,
 				}, func(_ int, r RunResult) { s.AddDuration(r.Elapsed) })
 				config++
@@ -65,19 +67,24 @@ func runFig4OMP(ctx *Context) []*Table {
 			lbInf := run(StratLoad, spmd.OpenMPInfinite())
 			sbDef := run(StratSpeed, spmd.OpenMPDefault())
 			sbInf := run(StratSpeed, spmd.OpenMPInfinite())
-			rInfDef.Add(lbInf.Mean() / lbDef.Mean())
-			rSbLb.Add(sbInf.Mean() / lbInf.Mean())
-			rSbDefLbDef.Add(sbDef.Mean() / lbDef.Mean())
-			varS.Add(sbInf.VariationPct())
-			varL.Add(lbInf.VariationPct())
-			aInf.Add(lbInf.Mean())
-			aDef.Add(lbDef.Mean())
-			aSbInf.Add(sbInf.Mean())
-			aSbDef.Add(sbDef.Mean())
-			ctx.Logf("fig4omp: %s on %d cores done", b.Name, n)
+			rn.Then(func() {
+				rInfDef.Add(lbInf.Mean() / lbDef.Mean())
+				rSbLb.Add(sbInf.Mean() / lbInf.Mean())
+				rSbDefLbDef.Add(sbDef.Mean() / lbDef.Mean())
+				varS.Add(sbInf.VariationPct())
+				varL.Add(lbInf.VariationPct())
+				aInf.Add(lbInf.Mean())
+				aDef.Add(lbDef.Mean())
+				aSbInf.Add(sbInf.Mean())
+				aSbDef.Add(sbDef.Mean())
+				ctx.Logf("fig4omp: %s on %d cores done", b.Name, n)
+			})
 		}
-		t.AddRow(b.Name, rInfDef.Mean(), rSbLb.Mean(), rSbDefLbDef.Mean(), varS.Mean(), varL.Mean())
+		rn.Then(func() {
+			t.AddRow(b.Name, rInfDef.Mean(), rSbLb.Mean(), rSbDefLbDef.Mean(), varS.Mean(), varL.Mean())
+		})
 	}
+	rn.Wait()
 	t.AddRow("all", aInf.Mean()/aDef.Mean(), aSbInf.Mean()/aInf.Mean(), aSbDef.Mean()/aDef.Mean(), "-", "-")
 	t.Note("DEF = KMP_BLOCKTIME 200 ms (spin then sleep); INF = poll forever; ratios < 1 favour the numerator")
 	return []*Table{t}
@@ -99,6 +106,7 @@ func runOmpS(ctx *Context) []*Table {
 	interfere := func(m *sim.Machine) {
 		m.AddActor(&competing.Interactive{Period: 20 * time.Millisecond, Burst: 2e6})
 	}
+	rn := NewRunner(ctx)
 	config := 6000
 	var impAll stats.Sample
 	for _, base := range []npb.Benchmark{npb.BT, npb.CG, npb.IS, npb.SP} {
@@ -106,7 +114,7 @@ func runOmpS(ctx *Context) []*Table {
 		run := func(strat Strategy, model spmd.Model) *stats.Sample {
 			s := &stats.Sample{}
 			spec := ScaleSpec(ctx, b.Spec(16, model, cpuset.All(15)))
-			Repeat(ctx, config, RunOpts{
+			rn.Repeat(config, RunOpts{
 				Topo: topo.Barcelona, Strategy: strat, Spec: spec, Setup: interfere,
 			}, func(_ int, r RunResult) { s.AddDuration(r.Elapsed) })
 			config++
@@ -115,11 +123,14 @@ func runOmpS(ctx *Context) []*Table {
 		lbDef := run(StratLoad, spmd.OpenMPDefault())
 		lbInf := run(StratLoad, spmd.OpenMPInfinite())
 		sbInf := run(StratSpeed, spmd.OpenMPInfinite())
-		imp := sbInf.ImprovementPct(lbDef)
-		impAll.Add(imp)
-		t.AddRow(b.Name, lbDef.Mean(), lbInf.Mean(), sbInf.Mean(), imp)
-		ctx.Logf("ompS: %s done", b.Name)
+		rn.Then(func() {
+			imp := sbInf.ImprovementPct(lbDef)
+			impAll.Add(imp)
+			t.AddRow(b.Name, lbDef.Mean(), lbInf.Mean(), sbInf.Mean(), imp)
+			ctx.Logf("ompS: %s done", b.Name)
+		})
 	}
+	rn.Wait()
 	t.AddRow("mean", "-", "-", "-", impAll.Mean())
 	t.Note("class S: 1/32 work per iteration, 8x iterations — synchronization dominates")
 	t.Note("paper deviation: the paper's dedicated-machine 45%% at 16/16 cores arises from kernel-noise convoy effects at tens-of-µs barriers that the clean simulator does not produce; measured parity (SPEED pays ~3%% sampling churn) is recorded as a negative result")

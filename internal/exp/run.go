@@ -72,6 +72,9 @@ type RunResult struct {
 	App *spmd.App
 	// Machine allows further inspection.
 	Machine *sim.Machine
+	// Truncated reports that the simulated time limit expired before the
+	// application finished (Elapsed is then the limit and Speedup 0).
+	Truncated bool
 }
 
 // Run executes one measurement.
@@ -148,17 +151,18 @@ func Run(o RunOpts) RunResult {
 		// Surface truncation loudly: experiments must size Limit.
 		res.Elapsed = limit
 		res.Speedup = 0
+		res.Truncated = true
 	}
 	return res
 }
 
 // Repeat runs the configuration Reps times with derived seeds and calls
-// fn with each result.
+// fn with each result, in repetition order. The repetitions execute on
+// the parallel Runner; fn is invoked on the calling goroutine.
 func Repeat(ctx *Context, config int, o RunOpts, fn func(rep int, r RunResult)) {
-	for rep := 0; rep < ctx.Reps; rep++ {
-		o.Seed = seedFor(ctx.Seed, config, rep)
-		fn(rep, Run(o))
-	}
+	r := NewRunner(ctx)
+	r.Repeat(config, o, fn)
+	r.Wait()
 }
 
 // ScaleSpec shrinks a spec's iteration count by the context scale,

@@ -1,0 +1,173 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/spmd"
+	"repro/internal/topo"
+)
+
+func runnerOpts() RunOpts {
+	return RunOpts{
+		Topo:     func() *topo.Topology { return topo.SMP(2) },
+		Strategy: StratLoad,
+		Spec: spmd.Spec{
+			Name: "t", Threads: 3, Iterations: 3, WorkPerIteration: 1e6,
+			Model: spmd.UPC(),
+		},
+	}
+}
+
+// Callbacks and Then hooks are delivered strictly in submission order,
+// regardless of the order cells complete in.
+func TestRunnerDeliveryOrder(t *testing.T) {
+	ctx := &Context{Reps: 3, Scale: 1, Seed: 7, Parallelism: 8}
+	r := NewRunner(ctx)
+	var got []string
+	for cfg := 0; cfg < 4; cfg++ {
+		cfg := cfg
+		r.Repeat(cfg, runnerOpts(), func(rep int, res RunResult) {
+			if res.Elapsed <= 0 {
+				t.Errorf("config %d rep %d: degenerate result", cfg, rep)
+			}
+			got = append(got, fmt.Sprintf("c%dr%d", cfg, rep))
+		})
+		r.Then(func() { got = append(got, fmt.Sprintf("then%d", cfg)) })
+	}
+	r.Wait()
+	var want []string
+	for cfg := 0; cfg < 4; cfg++ {
+		for rep := 0; rep < 3; rep++ {
+			want = append(want, fmt.Sprintf("c%dr%d", cfg, rep))
+		}
+		want = append(want, fmt.Sprintf("then%d", cfg))
+	}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("delivery order:\n got %v\nwant %v", got, want)
+	}
+}
+
+// The same grid produces identical results at every parallelism level —
+// the slot-indexed aggregation contract of the Runner itself.
+func TestRunnerParallelismInvariant(t *testing.T) {
+	collect := func(par int) []time.Duration {
+		ctx := &Context{Reps: 4, Scale: 1, Seed: 42, Parallelism: par}
+		r := NewRunner(ctx)
+		var out []time.Duration
+		for cfg := 0; cfg < 3; cfg++ {
+			o := runnerOpts()
+			o.Spec.WorkJitter = 0.2
+			r.Repeat(cfg, o, func(_ int, res RunResult) { out = append(out, res.Elapsed) })
+		}
+		r.Wait()
+		return out
+	}
+	base := collect(1)
+	for _, par := range []int{2, 8} {
+		got := collect(par)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Errorf("parallelism %d: cell %d elapsed %v, want %v", par, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+// A panicking cell cancels the remaining cells and surfaces through
+// Wait; already-delivered callbacks are unaffected.
+func TestRunnerPanicCancels(t *testing.T) {
+	ctx := &Context{Reps: 1, Scale: 1, Seed: 1, Parallelism: 1}
+	r := NewRunner(ctx)
+	ran := 0
+	r.SubmitFunc("ok", func() RunResult { return Run(runnerOpts()) }, func(RunResult) { ran++ })
+	r.SubmitFunc("boom", func() RunResult { panic("exploded") }, func(RunResult) { ran++ })
+	r.SubmitFunc("after", func() RunResult { return Run(runnerOpts()) }, func(RunResult) { ran++ })
+
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("Wait did not re-panic on cell failure")
+		}
+		if !strings.Contains(fmt.Sprint(p), "boom") {
+			t.Errorf("panic %v does not identify the failed cell", p)
+		}
+		if ran != 1 {
+			t.Errorf("delivered %d callbacks, want 1 (cells after the failure must be cancelled)", ran)
+		}
+	}()
+	r.Wait()
+}
+
+// FailFast: a run overrunning its simulated time limit cancels the
+// remaining cells; without FailFast the truncated value is tabulated.
+func TestRunnerFailFast(t *testing.T) {
+	overrun := runnerOpts()
+	overrun.Spec.WorkPerIteration = 1e12 // ~17 min of work ...
+	overrun.Limit = time.Millisecond     // ... in a 1 ms budget
+
+	// Default: truncation is tabulated (Speedup 0), not fatal.
+	var res RunResult
+	Repeat(&Context{Reps: 1, Seed: 1}, 0, overrun, func(_ int, r RunResult) { res = r })
+	if !res.Truncated || res.Speedup != 0 || res.Elapsed != time.Millisecond {
+		t.Errorf("truncated run not surfaced: %+v", res)
+	}
+
+	// FailFast: the overrun aborts the experiment.
+	defer func() {
+		if p := recover(); p == nil {
+			t.Fatal("FailFast did not abort on time-limit overrun")
+		} else if !strings.Contains(fmt.Sprint(p), "overran") {
+			t.Errorf("panic %v does not describe the overrun", p)
+		}
+	}()
+	r := NewRunner(&Context{Reps: 1, Seed: 1, FailFast: true, Parallelism: 4})
+	r.Repeat(0, overrun, nil)
+	r.Wait()
+}
+
+// Logf is safe for concurrent use: parallel writers may interleave
+// lines, but never bytes within a line.
+func TestLogfSerialised(t *testing.T) {
+	var buf bytes.Buffer
+	ctx := &Context{Log: &buf}
+	const writers, lines = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < lines; i++ {
+				ctx.Logf("writer %d line %d of %d", w, i, lines)
+			}
+		}(w)
+	}
+	wg.Wait()
+	out := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(out) != writers*lines {
+		t.Fatalf("got %d lines, want %d", len(out), writers*lines)
+	}
+	for _, l := range out {
+		if !strings.HasPrefix(l, "writer ") || !strings.HasSuffix(l, fmt.Sprintf(" of %d", lines)) {
+			t.Fatalf("interleaved log line: %q", l)
+		}
+	}
+}
+
+// A Runner is reusable after Wait for a second phase.
+func TestRunnerReuse(t *testing.T) {
+	ctx := &Context{Reps: 2, Seed: 3, Parallelism: 2}
+	r := NewRunner(ctx)
+	n := 0
+	r.Repeat(0, runnerOpts(), func(int, RunResult) { n++ })
+	r.Wait()
+	r.Repeat(1, runnerOpts(), func(int, RunResult) { n++ })
+	r.Wait()
+	if n != 4 {
+		t.Errorf("delivered %d callbacks across two phases, want 4", n)
+	}
+}

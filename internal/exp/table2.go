@@ -44,36 +44,40 @@ func runTable2(ctx *Context) []*Table {
 		Columns: []string{"bench", "RSS GB", "paper", "speedupT", "paper", "speedupB", "paper",
 			"barrier ms (T)", "paper", "runT s"},
 	}
+	run := NewRunner(ctx)
 	config := 4000
 	for _, b := range npb.Suite() {
 		spec := ScaleSpec(ctx, b.Spec(16, spmd.UPC(), cpuset.All(16)))
-		var spT, spB, rtT stats.Sample
-		var barrierMs float64
-		Repeat(ctx, config, RunOpts{
+		spT, spB, rtT := &stats.Sample{}, &stats.Sample{}, &stats.Sample{}
+		barrierMs := new(float64)
+		run.Repeat(config, RunOpts{
 			Topo: topo.Tigerton, Strategy: StratPinned, Spec: spec,
 		}, func(_ int, r RunResult) {
 			spT.Add(r.Speedup)
 			rtT.AddDuration(r.Elapsed)
 			if spec.Iterations > 0 {
-				barrierMs = r.Elapsed.Seconds() * 1000 / float64(spec.Iterations)
+				*barrierMs = r.Elapsed.Seconds() * 1000 / float64(spec.Iterations)
 			}
 		})
 		config++
-		Repeat(ctx, config, RunOpts{
+		run.Repeat(config, RunOpts{
 			Topo: topo.Barcelona, Strategy: StratPinned, Spec: spec,
 		}, func(_ int, r RunResult) { spB.Add(r.Speedup) })
 		config++
 
-		p := paperTable2[b.Name]
-		rssGB := float64(b.RSSPerThread) * 16 / float64(1<<30)
-		t.AddRow(b.Name,
-			rssGB, orDash(p.rssGB),
-			spT.Mean(), orDash(p.speedupT),
-			spB.Mean(), orDash(p.speedupB),
-			barrierMs, orDash(p.interBarrierMs),
-			rtT.Mean())
-		ctx.Logf("table2: %s done", b.Name)
+		run.Then(func() {
+			p := paperTable2[b.Name]
+			rssGB := float64(b.RSSPerThread) * 16 / float64(1<<30)
+			t.AddRow(b.Name,
+				rssGB, orDash(p.rssGB),
+				spT.Mean(), orDash(p.speedupT),
+				spB.Mean(), orDash(p.speedupB),
+				*barrierMs, orDash(p.interBarrierMs),
+				rtT.Mean())
+			ctx.Logf("table2: %s done", b.Name)
+		})
 	}
+	run.Wait()
 	t.Note("speedups relative to serial work on an uncontended unit-speed core; run time at scale 1/%d of paper scale", ctx.Scale)
 	t.Note("ep.C has a single compute phase, so its barrier column reflects the whole run")
 	if ctx.Scale > 1 {

@@ -1,0 +1,9 @@
+//go:build race
+
+package sim_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// property tests scale their iteration counts down under it (it slows
+// the simulator ~10×) so `go test -race ./...` fits the default package
+// timeout.
+const raceEnabled = true

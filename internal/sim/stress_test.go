@@ -17,6 +17,19 @@ import (
 	"repro/internal/ule"
 )
 
+// quickCfg builds a quick.Check config with n iterations, scaled down
+// under the race detector and -short so the property tests fit the
+// default package timeout on small hosts.
+func quickCfg(n int) *quick.Config {
+	if raceEnabled || testing.Short() {
+		n /= 8
+		if n < 4 {
+			n = 4
+		}
+	}
+	return &quick.Config{MaxCount: n}
+}
+
 // Property: for arbitrary small workloads under arbitrary balancer
 // combinations, global invariants hold: every app finishes, total exec
 // never exceeds cores × elapsed, work counters equal the work specified,
@@ -68,7 +81,7 @@ func TestPropertyGlobalInvariants(t *testing.T) {
 		}
 		return total <= time.Duration(end)*time.Duration(cores)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+	if err := quick.Check(f, quickCfg(120)); err != nil {
 		t.Error(err)
 	}
 }
@@ -108,7 +121,7 @@ func TestPropertyDeterminismAcrossBalancers(t *testing.T) {
 		e2, m2 := run(seed, kind)
 		return e1 == e2 && m1 == m2
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, quickCfg(40)); err != nil {
 		t.Error(err)
 	}
 }

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// Edge cases the parallel experiment runner can feed the aggregator: an
+// empty sample (a cancelled cell delivered nothing), a single
+// observation (Reps = 1), and all-equal observations (a fully
+// deterministic quantity). Every accessor must stay finite and
+// division-free — a NaN or Inf here would poison a rendered table cell.
+func TestEdgeCaseSamples(t *testing.T) {
+	build := func(xs ...float64) *Sample {
+		s := &Sample{}
+		for _, x := range xs {
+			s.Add(x)
+		}
+		return s
+	}
+	cases := []struct {
+		name   string
+		s      *Sample
+		n      int
+		mean   float64
+		min    float64
+		max    float64
+		median float64
+		stddev float64
+		varPct float64
+	}{
+		{name: "empty", s: build(), n: 0},
+		{name: "single", s: build(3.5), n: 1, mean: 3.5, min: 3.5, max: 3.5, median: 3.5},
+		{name: "single-zero", s: build(0), n: 1},
+		{name: "all-equal", s: build(2, 2, 2, 2), n: 4, mean: 2, min: 2, max: 2, median: 2},
+		{name: "all-equal-pair", s: build(1.25, 1.25), n: 2, mean: 1.25, min: 1.25, max: 1.25, median: 1.25},
+		{name: "zeroes", s: build(0, 0, 0), n: 3},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			got := map[string]float64{
+				"Mean":         c.s.Mean(),
+				"Min":          c.s.Min(),
+				"Max":          c.s.Max(),
+				"Median":       c.s.Median(),
+				"StdDev":       c.s.StdDev(),
+				"VariationPct": c.s.VariationPct(),
+			}
+			want := map[string]float64{
+				"Mean": c.mean, "Min": c.min, "Max": c.max,
+				"Median": c.median, "StdDev": c.stddev, "VariationPct": c.varPct,
+			}
+			if c.s.N() != c.n {
+				t.Errorf("N() = %d, want %d", c.s.N(), c.n)
+			}
+			for name, v := range got {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("%s = %v, must be finite", name, v)
+				}
+				if v != want[name] {
+					t.Errorf("%s = %v, want %v", name, v, want[name])
+				}
+			}
+			if s := c.s.String(); s == "" {
+				t.Error("String() empty")
+			}
+		})
+	}
+}
+
+// Ratio metrics against degenerate baselines and receivers must not
+// divide by zero.
+func TestEdgeCaseRatios(t *testing.T) {
+	empty := &Sample{}
+	zero := &Sample{}
+	zero.Add(0)
+	one := &Sample{}
+	one.Add(1)
+
+	cases := []struct {
+		name       string
+		s, base    *Sample
+		improve    float64
+		worstImp   float64
+	}{
+		{name: "empty-vs-empty", s: empty, base: empty},
+		{name: "empty-vs-real", s: empty, base: one},
+		{name: "real-vs-empty", s: one, base: empty, improve: -100, worstImp: -100},
+		{name: "zero-vs-real", s: zero, base: one},
+		{name: "equal", s: one, base: one, improve: 0, worstImp: 0},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for name, pair := range map[string][2]float64{
+				"ImprovementPct":      {c.s.ImprovementPct(c.base), c.improve},
+				"WorstImprovementPct": {c.s.WorstImprovementPct(c.base), c.worstImp},
+			} {
+				got, want := pair[0], pair[1]
+				if math.IsNaN(got) || math.IsInf(got, 0) {
+					t.Errorf("%s = %v, must be finite", name, got)
+				}
+				if got != want {
+					t.Errorf("%s = %v, want %v", name, got, want)
+				}
+			}
+		})
+	}
+}
+
+// VariationPct with a zero minimum (e.g. a truncated run recorded as
+// Speedup 0) must not divide by zero.
+func TestVariationPctZeroMin(t *testing.T) {
+	s := &Sample{}
+	s.Add(0)
+	s.Add(5)
+	if v := s.VariationPct(); v != 0 {
+		t.Errorf("VariationPct with zero min = %v, want 0", v)
+	}
+}
+
+// AddDuration on an empty sample then aggregation round-trips.
+func TestEdgeCaseDuration(t *testing.T) {
+	s := &Sample{}
+	s.AddDuration(0)
+	if s.N() != 1 || s.Mean() != 0 || s.VariationPct() != 0 {
+		t.Errorf("zero duration sample misbehaves: %s", s)
+	}
+	s.AddDuration(2 * time.Second)
+	if s.Mean() != 1 {
+		t.Errorf("mean = %v, want 1", s.Mean())
+	}
+}
