@@ -1,0 +1,120 @@
+// Command lbos-lint statically enforces the repository's determinism
+// contract: experiment output must be a pure function of (machine,
+// workload, balancer, seed), bit-identical at any Parallelism level.
+//
+// Usage:
+//
+//	lbos-lint [-only names] [-json] packages...
+//	lbos-lint ./...
+//
+// It runs three analyzers (see each package's doc for the full rules):
+//
+//	nodeterm    wall-clock reads, global math/rand, nondeterministically
+//	            seeded sources, selects that race
+//	maporder    range over a map feeding an output sink without a sort
+//	slotsafety  Runner cell functions that capture loop variables or
+//	            mutate shared state
+//
+// Findings print as file:line:col: analyzer: message, and any finding
+// makes the exit status 1, so CI can gate on it. A site that is
+// deliberately exempt carries a //lint:allow-<category> directive on its
+// line or the line above (categories: wallclock, rand, select, maporder,
+// slotsafety).
+//
+// The implementation is stdlib-only (see internal/analysis); the
+// analyzers follow the golang.org/x/tools/go/analysis shape, so they
+// could be rehosted on a vet -vettool multichecker if x/tools is ever
+// vendored.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/nodeterm"
+	"repro/internal/analysis/slotsafety"
+)
+
+var all = []*analysis.Analyzer{nodeterm.Analyzer, maporder.Analyzer, slotsafety.Analyzer}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := flag.Bool("json", false, "emit findings as JSON")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lbos-lint [-only names] [-json] packages...\n\nanalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	analyzers := all
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			found := false
+			for _, a := range all {
+				if a.Name == name {
+					analyzers = append(analyzers, a)
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "lbos-lint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+		}
+	}
+
+	pkgs, err := analysis.Load(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbos-lint:", err)
+		os.Exit(2)
+	}
+
+	type finding struct {
+		Position string `json:"position"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	findings := []finding{} // non-nil so -json renders [] when clean
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(analyzers, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbos-lint: %s: %v\n", pkg.Path, err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			findings = append(findings, finding{
+				Position: pkg.Fset.Position(d.Pos).String(),
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "lbos-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s: %s: %s\n", f.Position, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/exp"
 )
 
@@ -103,7 +104,7 @@ func run(args []string) {
 			*reps, *scale, workers)
 	}
 	for _, e := range exps {
-		start := time.Now()
+		sw := clock.Start()
 		fmt.Printf("### %s — %s (%s)\n", e.ID, e.Title, e.PaperRef)
 		fmt.Printf("paper: %s\n\n", e.Expect)
 		tables := e.Run(ctx)
@@ -114,7 +115,7 @@ func run(args []string) {
 				writeCSV(*csvDir, e.ID, ti, t)
 			}
 		}
-		fmt.Printf("(%s completed in %v wall time)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s completed in %v wall time)\n\n", e.ID, sw.Elapsed().Round(time.Millisecond))
 	}
 }
 

@@ -1,0 +1,266 @@
+// Package maporder implements the map-iteration-order analyzer. Go
+// randomizes map iteration order per run, so a `range` over a map whose
+// body feeds an output sink — a fmt print, a Context.Logf progress line,
+// a table row builder, or an append that escapes the loop — produces
+// output that differs between runs and breaks the harness's
+// bit-identical-output contract.
+//
+// The analyzer flags such ranges unless the escaping slice is passed to
+// a sort function later in the same enclosing function body (the
+// canonical collect-keys-then-sort idiom), or the site carries a
+// //lint:allow-maporder directive. Iteration that only aggregates into
+// iteration-local state, or into commutative non-output state, is left
+// alone.
+//
+// Ranges over maps.Keys / maps.Values / maps.All iterators are treated
+// exactly like ranges over the map itself.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the maporder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag range-over-map whose body writes to output sinks without a deterministic sort",
+	Run:  run,
+}
+
+// sinkMethods are method names that emit ordered output. Receivers
+// declared inside the range body (iteration-local builders) are exempt.
+var sinkMethods = map[string]bool{
+	"Logf": true, "Log": true, "Print": true, "Printf": true,
+	"Println": true, "Write": true, "WriteString": true,
+	"WriteByte": true, "WriteRune": true, "AddRow": true, "Note": true,
+	// Test failure output is ordered output too: a table-driven test
+	// ranging over a map reports its failures in a different order each
+	// run, which defeats diffing two test logs.
+	"Error": true, "Errorf": true, "Fatal": true, "Fatalf": true,
+	"Skip": true, "Skipf": true,
+}
+
+// sortFuncs maps package path to the package-level functions that
+// establish a deterministic order for their first argument.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc examines the map ranges directly inside one function body.
+// Nested function literals are skipped here; the outer walk visits them
+// as functions in their own right, so each range is checked exactly once
+// against its innermost enclosing function.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	inspectShallow(body, func(n ast.Node) {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !rangesOverMap(pass, rs) {
+			return
+		}
+		checkRange(pass, body, rs)
+	})
+}
+
+// inspectShallow walks n without descending into function literals.
+func inspectShallow(n ast.Node, fn func(ast.Node)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// rangesOverMap reports whether rs iterates in map order: directly over
+// a map value, or over a maps.Keys/Values/All iterator.
+func rangesOverMap(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	if tv, ok := pass.TypesInfo.Types[rs.X]; ok && tv.Type != nil {
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			return true
+		}
+	}
+	call, ok := rs.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "maps" {
+		return false
+	}
+	return fn.Name() == "Keys" || fn.Name() == "Values" || fn.Name() == "All"
+}
+
+// checkRange looks for output sinks in one map-range body. Unlike
+// checkFunc's traversal, this one does descend into function literals:
+// a print deferred or spawned from inside the loop still observes the
+// nondeterministic order.
+func checkRange(pass *analysis.Pass, enclosing *ast.BlockStmt, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCallSink(pass, rs, n)
+		case *ast.AssignStmt:
+			checkEscapingAppend(pass, enclosing, rs, n)
+		}
+		return true
+	})
+}
+
+// checkCallSink flags fmt/log prints and sink method calls on receivers
+// that outlive the iteration.
+func checkCallSink(pass *analysis.Pass, rs *ast.RangeStmt, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+		if sig, _ := fn.Type().(*types.Signature); sig != nil && sig.Recv() == nil {
+			path := fn.Pkg().Path()
+			if (path == "fmt" || path == "log") && printLike(fn.Name()) {
+				pass.Reportf(call.Pos(), "maporder",
+					"%s.%s inside range over map emits output in nondeterministic order; collect keys, sort, then iterate", path, fn.Name())
+			}
+			return
+		}
+	}
+	// Method call: a sink only if the receiver survives the iteration.
+	if !sinkMethods[sel.Sel.Name] {
+		return
+	}
+	if obj := rootObject(pass, sel.X); obj != nil && within(obj.Pos(), rs) {
+		return // iteration-local builder
+	}
+	pass.Reportf(call.Pos(), "maporder",
+		"%s call inside range over map emits output in nondeterministic order; collect keys, sort, then iterate", sel.Sel.Name)
+}
+
+func printLike(name string) bool {
+	switch name {
+	case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+		return true
+	}
+	return false
+}
+
+// checkEscapingAppend flags `s = append(s, ...)` where s is declared
+// outside the range — unless s is sorted later in the enclosing
+// function, which is the deterministic collect-then-sort idiom.
+func checkEscapingAppend(pass *analysis.Pass, enclosing *ast.BlockStmt, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if _, builtin := pass.TypesInfo.Uses[id].(*types.Builtin); !builtin {
+			continue // shadowed: not the builtin append
+		}
+		var dest types.Object
+		if i < len(as.Lhs) {
+			dest = rootObject(pass, as.Lhs[i])
+		}
+		if dest == nil {
+			dest = rootObject(pass, call.Args[0])
+		}
+		if dest == nil || within(dest.Pos(), rs) {
+			continue // iteration-local slice
+		}
+		if sortedAfter(pass, enclosing, dest, rs) {
+			continue
+		}
+		pass.Reportf(as.Pos(), "maporder",
+			"append to %s inside range over map accumulates in nondeterministic order; sort %s afterwards or iterate sorted keys", dest.Name(), dest.Name())
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort function after the
+// range statement, anywhere in the enclosing function body.
+func sortedAfter(pass *analysis.Pass, enclosing *ast.BlockStmt, obj types.Object, rs *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if names := sortFuncs[fn.Pkg().Path()]; names[fn.Name()] && rootObject(pass, call.Args[0]) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// rootObject resolves the leftmost identifier of an expression (x in
+// x.f[i]) to its object, or nil.
+func rootObject(pass *analysis.Pass, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[e]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[e]
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// within reports whether pos falls inside the range statement.
+func within(pos token.Pos, rs *ast.RangeStmt) bool {
+	return pos >= rs.Pos() && pos <= rs.End()
+}

@@ -1,0 +1,78 @@
+// Package a seeds every maporder violation class.
+package a
+
+import (
+	"fmt"
+	"io"
+	"maps"
+	"strings"
+)
+
+// logger mimics exp.Context: Logf is an output sink.
+type logger struct{}
+
+func (logger) Logf(format string, args ...any) {}
+
+// table mimics exp.Table: AddRow is an output sink.
+type table struct{}
+
+func (*table) AddRow(cells ...any) {}
+
+func printsInOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "fmt.Printf inside range over map"
+	}
+}
+
+func fprintsInOrder(w io.Writer, m map[string]int) {
+	for k := range m {
+		fmt.Fprintln(w, k) // want "fmt.Fprintln inside range over map"
+	}
+}
+
+func logsInOrder(log logger, m map[string]int) {
+	for k := range m {
+		log.Logf("saw %s", k) // want "Logf call inside range over map"
+	}
+}
+
+func buildsRows(t *table, m map[string]float64) {
+	for k, v := range m {
+		t.AddRow(k, v) // want "AddRow call inside range over map"
+	}
+}
+
+func buildsString(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "WriteString call inside range over map"
+	}
+	return b.String()
+}
+
+func escapingAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside range over map"
+	}
+	return keys
+}
+
+// deferredPrint still observes map order even though the print happens
+// inside a nested literal.
+func deferredPrint(m map[string]int) {
+	for k := range m {
+		defer func(k string) {
+			fmt.Println(k) // want "fmt.Println inside range over map"
+		}(k)
+	}
+}
+
+// iteratorOrder is map order too: maps.Keys ranges the same way.
+func iteratorOrder(m map[string]int) []string {
+	var keys []string
+	for k := range maps.Keys(m) {
+		keys = append(keys, k) // want "append to keys inside range over map"
+	}
+	return keys
+}

@@ -1,0 +1,68 @@
+// Package clean holds deterministic map-iteration patterns that must
+// never fire: collect-then-sort, iteration-local builders, commutative
+// aggregation, and ranges over slices.
+package clean
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// sortedKeys is the canonical idiom: the escaping append is blessed by
+// the sort that follows.
+func sortedKeys(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// sortSlice blesses via sort.Slice instead of sort.Strings.
+func sortSlice(m map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// localBuilder writes only to an iteration-local builder that never
+// leaves the loop body.
+func localBuilder(m map[string]int) int {
+	n := 0
+	for k := range m {
+		var b strings.Builder
+		b.WriteString(k)
+		n += b.Len()
+	}
+	return n
+}
+
+// aggregate is commutative: no output sink, no escaping append.
+func aggregate(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// sliceRange iterates a slice; order is deterministic.
+func sliceRange(xs []string) {
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}
+
+// allowed demonstrates the escape hatch for a deliberate site.
+func allowed(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) //lint:allow-maporder diagnostic dump, order irrelevant
+	}
+}

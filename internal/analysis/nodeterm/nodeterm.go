@@ -1,0 +1,193 @@
+// Package nodeterm implements the determinism analyzer: it forbids the
+// constructs that make a simulation run depend on anything beyond
+// (machine, workload, balancer, seed).
+//
+// Banned constructs:
+//
+//   - wall-clock reads: time.Now, time.Since, time.Until, time.Sleep,
+//     time.After, time.AfterFunc, time.Tick, time.NewTicker,
+//     time.NewTimer. Simulated time must come from the event clock;
+//     the one sanctioned wall-clock site for progress reporting lives
+//     in internal/clock behind //lint:allow-wallclock.
+//   - the global math/rand and math/rand/v2 generators (rand.Intn,
+//     rand.Float64, rand.Shuffle, ...): shared mutable state whose
+//     sequence depends on what other code drew before. Randomness must
+//     flow from internal/xrand, or at minimum from a locally
+//     constructed, explicitly seeded source.
+//   - rand.New / rand.NewSource / rand.NewPCG / rand.NewChaCha8 seeded
+//     from a nondeterministic source (a wall-clock read, os.Getpid,
+//     crypto/rand): the constructor is fine, the seed provenance is the
+//     violation.
+//   - select statements with two or more communication cases: when
+//     several cases are ready the runtime picks uniformly at random,
+//     so control flow diverges between runs. Channel fan-in must be
+//     restructured into deterministic receives (or annotated
+//     //lint:allow-select where the nondeterminism provably cannot
+//     reach any output, as in the Runner's internals).
+package nodeterm
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the nodeterm analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "nodeterm",
+	Doc:  "forbid wall-clock reads, global math/rand, nondeterministically seeded sources, and racy selects",
+	Run:  run,
+}
+
+// wallclock lists the time functions whose results differ between runs.
+// Pure constructors/converters (time.Duration, time.Unix, time.Date) are
+// deliberately absent: they are deterministic functions of their inputs.
+var wallclock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// randGlobals lists the package-level math/rand functions that draw from
+// the shared global generator.
+var randGlobals = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+}
+
+// randV2Globals is the same for math/rand/v2, whose global generator
+// cannot even be seeded.
+var randV2Globals = map[string]bool{
+	"Int": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "Uint": true, "UintN": true,
+	"Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "N": true,
+}
+
+// sourceCtors are the generator constructors whose seed argument we
+// audit for nondeterministic provenance.
+var sourceCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkSelector(pass, n)
+			case *ast.CallExpr:
+				checkSeedProvenance(pass, n)
+			case *ast.SelectStmt:
+				checkSelect(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pkgFunc resolves sel to a package-level function and returns its
+// package path and name ("" if sel is something else, e.g. a method or
+// a field).
+func pkgFunc(pass *analysis.Pass, sel *ast.SelectorExpr) (path, name string) {
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+// checkSelector flags any mention — call or function value — of a banned
+// wall-clock or global-rand function.
+func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	path, name := pkgFunc(pass, sel)
+	switch path {
+	case "time":
+		if wallclock[name] {
+			pass.Reportf(sel.Pos(), "wallclock",
+				"time.%s reads the wall clock; simulation time must come from the event clock (internal/clock is the sanctioned progress-reporting wrapper)", name)
+		}
+	case "math/rand":
+		if randGlobals[name] {
+			pass.Reportf(sel.Pos(), "rand",
+				"math/rand.%s draws from the shared global generator; use internal/xrand seeded from the run's seed", name)
+		}
+	case "math/rand/v2":
+		if randV2Globals[name] {
+			pass.Reportf(sel.Pos(), "rand",
+				"math/rand/v2.%s draws from the unseedable global generator; use internal/xrand seeded from the run's seed", name)
+		}
+	}
+}
+
+// checkSeedProvenance flags rand.New / rand.NewSource whose seed
+// expression derives from the wall clock, the process identity, or
+// crypto/rand. A constant or computed seed is fine — that is the
+// pattern the repo's own tests use.
+func checkSeedProvenance(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	path, name := pkgFunc(pass, sel)
+	if (path != "math/rand" && path != "math/rand/v2") || !sourceCtors[name] {
+		return
+	}
+	for _, arg := range call.Args {
+		if src := nondeterministicSource(pass, arg); src != "" {
+			pass.Reportf(call.Pos(), "rand",
+				"rand.%s seeded from %s; derive the seed from the run's base seed instead", name, src)
+			return
+		}
+	}
+}
+
+// nondeterministicSource reports the first nondeterministic input found
+// inside a seed expression ("" if none).
+func nondeterministicSource(pass *analysis.Pass, expr ast.Expr) string {
+	found := ""
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		path, name := pkgFunc(pass, sel)
+		switch {
+		case path == "time" && wallclock[name]:
+			found = "the wall clock (time." + name + ")"
+		case path == "os" && (name == "Getpid" || name == "Getppid"):
+			found = "the process identity (os." + name + ")"
+		case path == "crypto/rand":
+			found = "crypto/rand"
+		}
+		return found == ""
+	})
+	return found
+}
+
+// checkSelect flags selects that can race: with two or more ready
+// communication cases the runtime chooses uniformly at random.
+func checkSelect(pass *analysis.Pass, sel *ast.SelectStmt) {
+	comm := 0
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+			comm++
+		}
+	}
+	if comm >= 2 {
+		pass.Reportf(sel.Pos(), "select",
+			"select with %d communication cases chooses nondeterministically when several are ready; restructure into deterministic receives", comm)
+	}
+}

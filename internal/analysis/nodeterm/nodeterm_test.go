@@ -1,0 +1,12 @@
+package nodeterm_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nodeterm"
+)
+
+func TestNodeterm(t *testing.T) {
+	analysistest.Run(t, "testdata/src", nodeterm.Analyzer, "a", "allow", "clean")
+}

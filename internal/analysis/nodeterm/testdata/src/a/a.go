@@ -1,0 +1,49 @@
+// Package a seeds every nodeterm violation class; each marked line must
+// fire exactly the diagnostics its want comment lists.
+package a
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"os"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()          // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+	return time.Since(start)     // want "time.Since reads the wall clock"
+}
+
+func wallClockValue() {
+	// Referencing the function as a value is as banned as calling it.
+	f := time.Now // want "time.Now reads the wall clock"
+	_ = f
+	ch := time.After(time.Second) // want "time.After reads the wall clock"
+	<-ch
+}
+
+func globalRand() int {
+	n := rand.Intn(10)                 // want "math/rand.Intn draws from the shared global generator"
+	rand.Shuffle(n, func(i, j int) {}) // want "math/rand.Shuffle draws from the shared global generator"
+	return n + randv2.IntN(3)          // want "math/rand/v2.IntN draws from the unseedable global generator"
+}
+
+func taintedSeed() *rand.Rand {
+	// The inner time.Now fires the wallclock rule; both constructor
+	// calls independently fire the seed-provenance rule.
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "rand.New seeded from the wall clock" "rand.NewSource seeded from the wall clock" "time.Now reads the wall clock"
+}
+
+func pidSeed() *rand.Rand {
+	return rand.New(rand.NewSource(int64(os.Getpid()))) // want "rand.New seeded from the process identity" "rand.NewSource seeded from the process identity"
+}
+
+func racySelect(a, b chan int) int {
+	select { // want "select with 2 communication cases chooses nondeterministically"
+	case x := <-a:
+		return x
+	case x := <-b:
+		return x
+	}
+}

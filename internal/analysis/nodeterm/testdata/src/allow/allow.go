@@ -1,0 +1,34 @@
+// Package allow exercises the //lint:allow-* escape hatches: every
+// construct here would fire without its directive, so any diagnostic in
+// this package is a suppression bug.
+package allow
+
+import (
+	"math/rand"
+	"time"
+)
+
+func sanctionedWallClock() time.Duration {
+	start := time.Now() //lint:allow-wallclock progress reporting only
+	//lint:allow-wallclock directive on the preceding line also suppresses
+	return time.Since(start)
+}
+
+func sanctionedRand() int {
+	return rand.Intn(10) //lint:allow-rand demo code, order does not matter
+}
+
+func sanctionedSelect(a, b chan int) int {
+	//lint:allow-select fan-in feeds a commutative counter
+	select {
+	case x := <-a:
+		return x
+	case x := <-b:
+		return x
+	}
+}
+
+func wrongCategoryDoesNotLeak() {
+	// An allow for a different category must not suppress this.
+	time.Sleep(time.Millisecond) //lint:allow-rand // want "time.Sleep reads the wall clock"
+}

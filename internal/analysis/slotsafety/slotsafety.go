@@ -1,0 +1,194 @@
+// Package slotsafety implements the Runner cell-isolation analyzer.
+//
+// The experiment Runner (internal/exp) executes each submitted cell
+// function concurrently on a worker pool and keeps output deterministic
+// by landing every result in the slot indexed by its submission
+// position. That contract holds only if a cell function is
+// self-contained: it must not mutate state shared with other cells
+// (results belong in the returned RunResult, aggregation in the ordered
+// result callback, which the Runner serializes), and it must not lean on
+// loop variables of the submission loop — the repo's convention is to
+// snapshot them into iteration-locals so a cell's inputs are visibly
+// frozen at submission time.
+//
+// The analyzer inspects every function literal passed as the cell (run)
+// argument of Runner.SubmitFunc and flags:
+//
+//   - writes (assignment, ++/--, delete) whose target is declared
+//     outside the literal — shared state mutated from worker
+//     goroutines in completion order;
+//   - reads of variables bound by an enclosing for/range clause —
+//     capture a snapshot (v := v) before submitting instead.
+//
+// Reads of non-loop outer variables are allowed: cells routinely read
+// workload specs built before the loop. //lint:allow-slotsafety
+// suppresses a finding that is deliberate (e.g. an atomic counter).
+package slotsafety
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the slotsafety analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "slotsafety",
+	Doc:  "flag Runner cell functions that capture loop variables or mutate shared state",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		walk(pass, f, nil)
+	}
+	return nil
+}
+
+// walk descends through f tracking the set of variables bound by
+// enclosing loop clauses, so that when a SubmitFunc call is reached the
+// loop-variable captures of its cell literal can be identified.
+func walk(pass *analysis.Pass, n ast.Node, loopVars []types.Object) {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		vars := loopVars
+		if as, ok := n.Init.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						vars = append(vars, obj)
+					}
+				}
+			}
+		}
+		walkChildren(pass, n, vars)
+		return
+	case *ast.RangeStmt:
+		vars := loopVars
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					vars = append(vars, obj)
+				}
+			}
+		}
+		walkChildren(pass, n, vars)
+		return
+	case *ast.CallExpr:
+		if lit := cellLiteral(pass, n); lit != nil {
+			checkCell(pass, lit, loopVars)
+		}
+	}
+	walkChildren(pass, n, loopVars)
+}
+
+func walkChildren(pass *analysis.Pass, n ast.Node, loopVars []types.Object) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == n {
+			return true
+		}
+		if child != nil {
+			walk(pass, child, loopVars)
+		}
+		return false
+	})
+}
+
+// cellLiteral returns the function literal passed as the cell (second)
+// argument of a Runner.SubmitFunc call, or nil. The receiver is matched
+// by its named type, so the check also covers test doubles named Runner.
+func cellLiteral(pass *analysis.Pass, call *ast.CallExpr) *ast.FuncLit {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "SubmitFunc" || len(call.Args) < 2 {
+		return nil
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil {
+		return nil
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Runner" {
+		return nil
+	}
+	lit, _ := call.Args[1].(*ast.FuncLit)
+	return lit
+}
+
+// checkCell reports shared-state writes and loop-variable captures
+// inside one cell literal.
+func checkCell(pass *analysis.Pass, lit *ast.FuncLit, loopVars []types.Object) {
+	isLoopVar := func(obj types.Object) bool {
+		for _, lv := range loopVars {
+			if obj == lv {
+				return true
+			}
+		}
+		return false
+	}
+	free := func(obj types.Object) bool {
+		return obj != nil && (obj.Pos() < lit.Pos() || obj.Pos() > lit.End())
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if obj := writeTarget(pass, lhs); free(obj) {
+					pass.Reportf(lhs.Pos(), "slotsafety",
+						"cell function mutates %s, which is shared across concurrently running cells; return the value via RunResult or aggregate in the ordered result callback", obj.Name())
+				}
+			}
+		case *ast.IncDecStmt:
+			if obj := writeTarget(pass, n.X); free(obj) {
+				pass.Reportf(n.Pos(), "slotsafety",
+					"cell function mutates %s, which is shared across concurrently running cells; return the value via RunResult or aggregate in the ordered result callback", obj.Name())
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) > 0 {
+				if _, builtin := pass.TypesInfo.Uses[id].(*types.Builtin); builtin {
+					if obj := writeTarget(pass, n.Args[0]); free(obj) {
+						pass.Reportf(n.Pos(), "slotsafety",
+							"cell function mutates %s, which is shared across concurrently running cells; return the value via RunResult or aggregate in the ordered result callback", obj.Name())
+					}
+				}
+			}
+		case *ast.Ident:
+			if obj, ok := pass.TypesInfo.Uses[n].(*types.Var); ok && isLoopVar(obj) {
+				pass.Reportf(n.Pos(), "slotsafety",
+					"cell function captures loop variable %s; snapshot it into an iteration-local (%s := %s) before SubmitFunc so the cell's inputs are frozen at submission", n.Name, n.Name, n.Name)
+			}
+		}
+		return true
+	})
+}
+
+// writeTarget resolves the variable ultimately written by an assignment
+// target (the root x of x, x.f, x[i], *x), or nil.
+func writeTarget(pass *analysis.Pass, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if e.Name == "_" {
+				return nil
+			}
+			if obj, ok := pass.TypesInfo.Uses[e].(*types.Var); ok {
+				return obj
+			}
+			return nil
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}

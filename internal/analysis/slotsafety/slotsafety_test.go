@@ -1,0 +1,12 @@
+package slotsafety_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/slotsafety"
+)
+
+func TestSlotsafety(t *testing.T) {
+	analysistest.Run(t, "testdata/src", slotsafety.Analyzer, "a", "clean")
+}

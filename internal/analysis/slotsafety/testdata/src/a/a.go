@@ -1,0 +1,78 @@
+// Package a seeds slotsafety violations against a stand-in for the
+// experiment Runner: cell functions that capture submission-loop
+// variables or mutate state shared across concurrently running cells.
+package a
+
+// RunResult mirrors exp.RunResult.
+type RunResult struct{ Elapsed int64 }
+
+// Runner mirrors exp.Runner's submission surface; the analyzer matches
+// the named type, so this double exercises the same code path.
+type Runner struct{}
+
+func (r *Runner) SubmitFunc(label string, run func() RunResult, fn func(RunResult)) {}
+
+func measure(seed uint64) RunResult { return RunResult{Elapsed: int64(seed)} }
+
+func capturesIndexVar(r *Runner, seeds []uint64) {
+	for i := 0; i < len(seeds); i++ {
+		r.SubmitFunc("cell",
+			func() RunResult { return measure(seeds[i]) }, // want "captures loop variable i"
+			nil)
+	}
+}
+
+func capturesRangeVar(r *Runner, seeds []uint64) {
+	for _, s := range seeds {
+		r.SubmitFunc("cell",
+			func() RunResult { return measure(s) }, // want "captures loop variable s"
+			nil)
+	}
+}
+
+func mutatesSharedCounter(r *Runner, seeds []uint64) int {
+	done := 0
+	for _, s := range seeds {
+		s := s
+		r.SubmitFunc("cell", func() RunResult {
+			done++ // want "mutates done"
+			return measure(s)
+		}, nil)
+	}
+	return done
+}
+
+func mutatesSharedSlice(r *Runner, seeds []uint64) []int64 {
+	var out []int64
+	for _, s := range seeds {
+		s := s
+		r.SubmitFunc("cell", func() RunResult {
+			res := measure(s)
+			out = append(out, res.Elapsed) // want "mutates out"
+			return res
+		}, nil)
+	}
+	return out
+}
+
+func mutatesSharedMap(r *Runner, seeds []uint64) map[uint64]int64 {
+	seen := map[uint64]int64{}
+	for _, s := range seeds {
+		s := s
+		r.SubmitFunc("cell", func() RunResult {
+			res := measure(s)
+			seen[s] = res.Elapsed // want "mutates seen"
+			delete(seen, 0)       // want "mutates seen"
+			return res
+		}, nil)
+	}
+	return seen
+}
+
+func mutatesThroughField(r *Runner, agg *struct{ total int64 }) {
+	r.SubmitFunc("cell", func() RunResult {
+		res := measure(1)
+		agg.total += res.Elapsed // want "mutates agg"
+		return res
+	}, nil)
+}

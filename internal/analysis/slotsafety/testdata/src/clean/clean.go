@@ -1,0 +1,62 @@
+// Package clean holds the sanctioned Runner patterns that must never
+// fire: snapshotted loop variables, aggregation in the ordered result
+// callback, read-only captures, and the explicit escape hatch.
+package clean
+
+type RunResult struct{ Elapsed int64 }
+
+type Runner struct{}
+
+func (r *Runner) SubmitFunc(label string, run func() RunResult, fn func(RunResult)) {}
+
+type spec struct{ work int64 }
+
+func measure(s spec, seed uint64) RunResult { return RunResult{Elapsed: s.work} }
+
+// snapshot is the repo convention: the loop variable is frozen into an
+// iteration-local before submission.
+func snapshot(r *Runner, seeds []uint64) {
+	s := spec{work: 100}
+	for _, seed := range seeds {
+		seed := seed
+		r.SubmitFunc("cell",
+			func() RunResult { return measure(s, seed) },
+			nil)
+	}
+}
+
+// aggregateInCallback mutates shared state only in the result callback,
+// which the Runner delivers serially in submission order.
+func aggregateInCallback(r *Runner, seeds []uint64) []int64 {
+	var out []int64
+	s := spec{work: 7}
+	for _, seed := range seeds {
+		seed := seed
+		r.SubmitFunc("cell",
+			func() RunResult { return measure(s, seed) },
+			func(res RunResult) { out = append(out, res.Elapsed) })
+	}
+	return out
+}
+
+// bodyLocal state declared inside the loop body is per-iteration.
+func bodyLocal(r *Runner, seeds []uint64) {
+	for _, seed := range seeds {
+		seed := seed
+		retries := 0
+		_ = retries
+		r.SubmitFunc("cell", func() RunResult {
+			local := measure(spec{}, seed)
+			local.Elapsed *= 2
+			return local
+		}, nil)
+	}
+}
+
+// allowed demonstrates the escape hatch for a deliberate shared write.
+func allowed(r *Runner, counter *int) {
+	r.SubmitFunc("cell", func() RunResult {
+		*counter++ //lint:allow-slotsafety intentionally racy debug counter
+		return RunResult{}
+	}, nil)
+}

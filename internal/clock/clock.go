@@ -1,0 +1,29 @@
+// Package clock is the repository's single sanctioned wall-clock entry
+// point.
+//
+// Simulation and experiment code must be deterministic — time flows
+// from the event clock, never from the host — so the nodeterm analyzer
+// (internal/analysis/nodeterm) bans time.Now throughout the module.
+// The one legitimate use is operator-facing progress reporting: how
+// long an experiment took in wall time. That use funnels through this
+// package, whose two time calls carry the //lint:allow-wallclock
+// directive; any other wall-clock read anywhere in the module is a lint
+// error. Nothing measured here may influence simulated results.
+package clock
+
+import "time"
+
+// A Stopwatch marks a wall-clock start time for progress reporting.
+type Stopwatch struct {
+	start time.Time
+}
+
+// Start begins timing.
+func Start() Stopwatch {
+	return Stopwatch{start: time.Now()} //lint:allow-wallclock sole sanctioned wall-clock read (progress reporting)
+}
+
+// Elapsed returns the wall time since Start.
+func (s Stopwatch) Elapsed() time.Duration {
+	return time.Since(s.start) //lint:allow-wallclock sole sanctioned wall-clock read (progress reporting)
+}

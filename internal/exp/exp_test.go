@@ -85,12 +85,16 @@ func TestTableCSV(t *testing.T) {
 }
 
 func TestTrimFloat(t *testing.T) {
-	cases := map[float64]string{
-		1.5: "1.5", 2.0: "2", 0.67: "0.67", 0: "0", 10.125: "10.12", // round-half-even
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{1.5, "1.5"}, {2.0, "2"}, {0.67, "0.67"}, {0, "0"},
+		{10.125, "10.12"}, // round-half-even
 	}
-	for in, want := range cases {
-		if got := trimFloat(in); got != want {
-			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+	for _, c := range cases {
+		if got := trimFloat(c.in); got != c.want {
+			t.Errorf("trimFloat(%v) = %q, want %q", c.in, got, c.want)
 		}
 	}
 }

@@ -119,6 +119,7 @@ func runExtMeasure(ctx *Context) []*Table {
 	run := NewRunner(ctx)
 	config := 8100
 	for _, meas := range []speedbal.Measure{speedbal.MeasureCPUShare, speedbal.MeasureWorkRate} {
+		meas := meas // freeze the cell's input at submission (slotsafety)
 		el, mig := &stats.Sample{}, &stats.Sample{}
 		// The run needs custom wiring (clumped start, machine-wide
 		// managed set), so submit a custom run function per repetition.

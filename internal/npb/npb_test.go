@@ -58,12 +58,16 @@ func TestCalibrationRanges(t *testing.T) {
 
 // The closed-form speedup predictions match Table 2 within ~10%.
 func TestClosedFormSpeedups(t *testing.T) {
-	paper := map[string][2]float64{ // Tigerton, Barcelona
-		"bt.A": {4.6, 10.0},
-		"ft.B": {5.3, 10.5},
-		"sp.A": {7.2, 12.4},
+	paper := []struct {
+		name string
+		want [2]float64 // Tigerton, Barcelona
+	}{
+		{"bt.A", [2]float64{4.6, 10.0}},
+		{"ft.B", [2]float64{5.3, 10.5}},
+		{"sp.A", [2]float64{7.2, 12.4}},
 	}
-	for name, want := range paper {
+	for _, c := range paper {
+		name, want := c.name, c.want
 		b, _ := npb.ByName(name)
 		m := b.MemIntensity
 		fT := 1 - m + 1.0/4

@@ -10,7 +10,9 @@ package sim_test
 // checked wiring is exactly what the tables measure.
 
 import (
+	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 	"time"
 
@@ -57,10 +59,15 @@ func (rc *residencyChecker) tick(now int64) {
 			seen[q]++
 		}
 	}
+	var multi []string
 	for tk, n := range seen {
 		if n > 1 {
-			rc.t.Errorf("t=%d: task %q resident on %d cores at once", now, tk.Name, n)
+			multi = append(multi, fmt.Sprintf("t=%d: task %q resident on %d cores at once", now, tk.Name, n))
 		}
+	}
+	sort.Strings(multi)
+	for _, msg := range multi {
+		rc.t.Error(msg)
 	}
 	rc.m.After(rc.every, rc.tick)
 }

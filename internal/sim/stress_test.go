@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -154,7 +155,12 @@ func TestMixedWorkloadIsolation(t *testing.T) {
 	if !managed.Done() || !other.Done() {
 		t.Fatalf("apps done: managed=%v other=%v", managed.Done(), other.Done())
 	}
+	groups := make([]string, 0, len(moved))
 	for g := range moved {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
 		if g != "managed" {
 			t.Errorf("speed balancer moved a %q task", g)
 		}

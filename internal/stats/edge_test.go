@@ -40,27 +40,27 @@ func TestEdgeCaseSamples(t *testing.T) {
 	for _, c := range cases {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
-			got := map[string]float64{
-				"Mean":         c.s.Mean(),
-				"Min":          c.s.Min(),
-				"Max":          c.s.Max(),
-				"Median":       c.s.Median(),
-				"StdDev":       c.s.StdDev(),
-				"VariationPct": c.s.VariationPct(),
-			}
-			want := map[string]float64{
-				"Mean": c.mean, "Min": c.min, "Max": c.max,
-				"Median": c.median, "StdDev": c.stddev, "VariationPct": c.varPct,
+			got := []struct {
+				name string
+				v    float64
+				want float64
+			}{
+				{"Mean", c.s.Mean(), c.mean},
+				{"Min", c.s.Min(), c.min},
+				{"Max", c.s.Max(), c.max},
+				{"Median", c.s.Median(), c.median},
+				{"StdDev", c.s.StdDev(), c.stddev},
+				{"VariationPct", c.s.VariationPct(), c.varPct},
 			}
 			if c.s.N() != c.n {
 				t.Errorf("N() = %d, want %d", c.s.N(), c.n)
 			}
-			for name, v := range got {
-				if math.IsNaN(v) || math.IsInf(v, 0) {
-					t.Errorf("%s = %v, must be finite", name, v)
+			for _, g := range got {
+				if math.IsNaN(g.v) || math.IsInf(g.v, 0) {
+					t.Errorf("%s = %v, must be finite", g.name, g.v)
 				}
-				if v != want[name] {
-					t.Errorf("%s = %v, want %v", name, v, want[name])
+				if g.v != g.want {
+					t.Errorf("%s = %v, want %v", g.name, g.v, g.want)
 				}
 			}
 			if s := c.s.String(); s == "" {
@@ -80,10 +80,10 @@ func TestEdgeCaseRatios(t *testing.T) {
 	one.Add(1)
 
 	cases := []struct {
-		name       string
-		s, base    *Sample
-		improve    float64
-		worstImp   float64
+		name     string
+		s, base  *Sample
+		improve  float64
+		worstImp float64
 	}{
 		{name: "empty-vs-empty", s: empty, base: empty},
 		{name: "empty-vs-real", s: empty, base: one},
@@ -94,16 +94,18 @@ func TestEdgeCaseRatios(t *testing.T) {
 	for _, c := range cases {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
-			for name, pair := range map[string][2]float64{
-				"ImprovementPct":      {c.s.ImprovementPct(c.base), c.improve},
-				"WorstImprovementPct": {c.s.WorstImprovementPct(c.base), c.worstImp},
+			for _, g := range []struct {
+				name      string
+				got, want float64
+			}{
+				{"ImprovementPct", c.s.ImprovementPct(c.base), c.improve},
+				{"WorstImprovementPct", c.s.WorstImprovementPct(c.base), c.worstImp},
 			} {
-				got, want := pair[0], pair[1]
-				if math.IsNaN(got) || math.IsInf(got, 0) {
-					t.Errorf("%s = %v, must be finite", name, got)
+				if math.IsNaN(g.got) || math.IsInf(g.got, 0) {
+					t.Errorf("%s = %v, must be finite", g.name, g.got)
 				}
-				if got != want {
-					t.Errorf("%s = %v, want %v", name, got, want)
+				if g.got != g.want {
+					t.Errorf("%s = %v, want %v", g.name, g.got, g.want)
 				}
 			}
 		})

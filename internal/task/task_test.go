@@ -49,12 +49,15 @@ func TestSpeed(t *testing.T) {
 }
 
 func TestStateString(t *testing.T) {
-	for st, want := range map[State]string{
-		New: "new", Runnable: "runnable", Running: "running",
-		Sleeping: "sleeping", Blocked: "blocked", Done: "done",
+	for _, c := range []struct {
+		st   State
+		want string
+	}{
+		{New, "new"}, {Runnable, "runnable"}, {Running, "running"},
+		{Sleeping, "sleeping"}, {Blocked, "blocked"}, {Done, "done"},
 	} {
-		if st.String() != want {
-			t.Errorf("%d.String() = %q", st, st.String())
+		if c.st.String() != c.want {
+			t.Errorf("%d.String() = %q", c.st, c.st.String())
 		}
 	}
 	if State(99).String() != "invalid" {
@@ -63,12 +66,16 @@ func TestStateString(t *testing.T) {
 }
 
 func TestWaitPolicyString(t *testing.T) {
-	for p, want := range map[WaitPolicy]string{
-		WaitSpin: "spin", WaitYield: "yield", WaitPollSleep: "poll-sleep",
-		WaitBlock: "block", WaitSpinThenBlock: "spin-then-block",
+	for _, c := range []struct {
+		p    WaitPolicy
+		want string
+	}{
+		{WaitSpin, "spin"}, {WaitYield, "yield"},
+		{WaitPollSleep, "poll-sleep"}, {WaitBlock, "block"},
+		{WaitSpinThenBlock, "spin-then-block"},
 	} {
-		if p.String() != want {
-			t.Errorf("%d.String() = %q", p, p.String())
+		if c.p.String() != c.want {
+			t.Errorf("%d.String() = %q", c.p, c.p.String())
 		}
 	}
 }

@@ -190,12 +190,15 @@ func TestGroupOf(t *testing.T) {
 }
 
 func TestDistanceString(t *testing.T) {
-	for d, want := range map[Distance]string{
-		DistSelf: "self", DistSMT: "smt", DistCache: "cache",
-		DistSocket: "socket", DistNUMA: "numa",
+	for _, c := range []struct {
+		d    Distance
+		want string
+	}{
+		{DistSelf, "self"}, {DistSMT, "smt"}, {DistCache, "cache"},
+		{DistSocket, "socket"}, {DistNUMA, "numa"},
 	} {
-		if d.String() != want {
-			t.Errorf("%d.String() = %q", d, d.String())
+		if c.d.String() != c.want {
+			t.Errorf("%d.String() = %q", c.d, c.d.String())
 		}
 	}
 }
