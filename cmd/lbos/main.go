@@ -17,6 +17,11 @@
 //	-failfast    stop an experiment at the first run that overruns its
 //	             simulated time limit
 //	-csv DIR     also write each table as CSV under DIR
+//	-trace FILE  write a Chrome trace-event JSON of every run's scheduling
+//	             events (load FILE in ui.perfetto.dev); byte-identical at
+//	             every -parallel level
+//	-metrics     collect and print scheduler metrics (migration counts,
+//	             speed-sample and barrier-wait histograms, busy fractions)
 //	-q           suppress progress logging
 package main
 
@@ -32,6 +37,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/exp"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -51,7 +57,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lbos list | lbos run [-reps N] [-scale K] [-seed S] [-parallel P] [-failfast] [-csv DIR] [-q] <id>...|all")
+	fmt.Fprintln(os.Stderr, "usage: lbos list | lbos run [-reps N] [-scale K] [-seed S] [-parallel P] [-failfast] [-csv DIR] [-trace FILE] [-metrics] [-q] <id>...|all")
 }
 
 func list() {
@@ -68,6 +74,8 @@ func run(args []string) {
 	parallel := fs.Int("parallel", 0, "worker goroutines for the experiment grid (0 = GOMAXPROCS)")
 	failfast := fs.Bool("failfast", false, "stop at the first run overrunning its simulated time limit")
 	csvDir := fs.String("csv", "", "write tables as CSV under this directory")
+	traceFile := fs.String("trace", "", "write a Chrome trace-event JSON of all runs to this file")
+	withMetrics := fs.Bool("metrics", false, "collect and print scheduler metrics per experiment")
 	quiet := fs.Bool("q", false, "suppress progress logging")
 	fs.Parse(args)
 
@@ -94,6 +102,24 @@ func run(args []string) {
 		Reps: *reps, Scale: *scale, Seed: *seed,
 		Parallelism: *parallel, FailFast: *failfast,
 	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ctx.Trace = exp.NewTraceSink(f, 0)
+		defer func() {
+			if err := ctx.Trace.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close()
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "lbos: trace of %d runs written to %s (load in ui.perfetto.dev)\n",
+					ctx.Trace.Cells, *traceFile)
+			}
+		}()
+	}
 	if !*quiet {
 		ctx.Log = os.Stderr
 		workers := *parallel
@@ -107,7 +133,15 @@ func run(args []string) {
 		sw := clock.Start()
 		fmt.Printf("### %s — %s (%s)\n", e.ID, e.Title, e.PaperRef)
 		fmt.Printf("paper: %s\n\n", e.Expect)
+		if *withMetrics {
+			// Fresh aggregate per experiment so metrics tables are scoped
+			// to one experiment's cells.
+			ctx.Metrics = metrics.NewAggregate()
+		}
 		tables := e.Run(ctx)
+		if *withMetrics {
+			tables = append(tables, exp.MetricsTables(ctx.Metrics.Snapshot())...)
+		}
 		for ti, t := range tables {
 			t.Render(os.Stdout)
 			fmt.Println()

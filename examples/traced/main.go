@@ -1,0 +1,66 @@
+// Traced: run the quickstart scenario under speed balancing with the
+// tracer and metrics attached, write a Chrome trace-event JSON, and
+// print the collected scheduler metrics.
+//
+// Load the resulting trace in ui.perfetto.dev to see one timeline row
+// per core: run stints as slices, migrations and balancer decisions as
+// instants. This visualises the paper's central mechanism — under
+// speed balancing the threads rotate through the fast cores instead of
+// being stuck behind a queue-length-balanced placement.
+//
+//	go run ./examples/traced
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	lbos "repro"
+)
+
+func main() {
+	const threads, cores = 12, 8
+
+	spec := lbos.AppSpec{
+		Name:             "solver",
+		Threads:          threads,
+		Iterations:       20,
+		WorkPerIteration: 150 * lbos.Millisecond,
+		Model:            lbos.UPC(),
+		Affinity:         lbos.Cores(cores),
+	}
+
+	ring := lbos.NewTraceRing(1 << 16)
+	reg := lbos.NewMetricsRegistry()
+	sys := lbos.NewSystem(lbos.Tigerton(), lbos.WithSeed(1),
+		lbos.WithTracer(ring), lbos.WithMetrics(reg))
+	app := sys.BuildApp(spec)
+	bal := sys.SpeedBalance(app, lbos.SpeedConfig{})
+	sys.RunUntil(app)
+
+	fmt.Printf("%d threads on %d cores under SPEED: %v (speedup %.2f, %d migrations)\n",
+		threads, cores, app.Elapsed().Round(time.Millisecond), app.Speedup(), bal.Migrations)
+
+	f, err := os.Create("speed.trace.json")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := lbos.WriteChromeTrace(f, "speed 12x8", ring); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Printf("wrote speed.trace.json (%d events) — load it in ui.perfetto.dev\n\n", ring.Total())
+
+	snap := reg.Snapshot()
+	fmt.Println("counters:")
+	for _, c := range snap.Counters {
+		fmt.Printf("  %-24s %d\n", c.Name, c.Value)
+	}
+	fmt.Println("histograms:")
+	for _, h := range snap.Hists {
+		fmt.Printf("  %-24s count %d  mean %.4g  max %.4g\n", h.Name, h.Count, h.Mean(), h.Max)
+	}
+}

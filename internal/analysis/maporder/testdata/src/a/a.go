@@ -76,3 +76,48 @@ func iteratorOrder(m map[string]int) []string {
 	}
 	return keys
 }
+
+// tracer mimics trace.Ring: Emit records events in emission order, and
+// the exporter writes them out verbatim.
+type tracer struct{}
+
+func (*tracer) Emit(e any) {}
+
+// chromeWriter mimics trace.ChromeWriter.
+type chromeWriter struct{}
+
+func (*chromeWriter) WriteEvent(e any) {}
+
+// counter and histogram mimic the metrics registry types.
+type counter struct{}
+
+func (*counter) Inc() {}
+
+type histogram struct{}
+
+func (*histogram) Observe(x float64) {}
+
+func emitsInOrder(tr *tracer, m map[int]string) {
+	for c := range m {
+		tr.Emit(c) // want "Emit call inside range over map"
+	}
+}
+
+func exportsInOrder(cw *chromeWriter, m map[int]string) {
+	for c, name := range m {
+		_ = c
+		cw.WriteEvent(name) // want "WriteEvent call inside range over map"
+	}
+}
+
+func countsInOrder(c *counter, m map[string]int) {
+	for range m {
+		c.Inc() // want "Inc call inside range over map"
+	}
+}
+
+func observesInOrder(h *histogram, m map[string]float64) {
+	for _, v := range m {
+		h.Observe(v) // want "Observe call inside range over map"
+	}
+}

@@ -66,3 +66,30 @@ func allowed(m map[string]int) {
 		fmt.Println(k) //lint:allow-maporder diagnostic dump, order irrelevant
 	}
 }
+
+// histogram mimics the metrics registry type.
+type histogram struct{}
+
+func (*histogram) Observe(x float64) {}
+
+// sortedObserve feeds a histogram in deterministic key order: the map
+// range only collects, the sorted second loop does the observing.
+func sortedObserve(h *histogram, m map[string]float64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h.Observe(m[k])
+	}
+}
+
+// localObserve records only into an iteration-local histogram that
+// never leaves the loop body.
+func localObserve(m map[string]float64) {
+	for _, v := range m {
+		var h histogram
+		h.Observe(v)
+	}
+}

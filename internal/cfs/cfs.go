@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/task"
+	"repro/internal/trace"
 )
 
 // Params are the tunables of the scheduler, mirroring
@@ -60,6 +61,10 @@ type Queue struct {
 	// normalised against.
 	minVruntime int64
 	totalWeight int64
+	// m and coreID identify the queue's machine and core for tracing;
+	// m is nil for queues used standalone in tests.
+	m      *sim.Machine
+	coreID int
 }
 
 // New returns a CFS queue with the given parameters.
@@ -76,8 +81,11 @@ func FactoryWith(p Params) func(coreID int) sim.Scheduler {
 	return func(int) sim.Scheduler { return New(p) }
 }
 
-// Attach implements sim.Scheduler. CFS needs no machine access.
-func (q *Queue) Attach(m *sim.Machine, coreID int) {}
+// Attach implements sim.Scheduler.
+func (q *Queue) Attach(m *sim.Machine, coreID int) {
+	q.m = m
+	q.coreID = coreID
+}
 
 // Enqueue implements sim.Scheduler: inserts a runnable task, granting
 // sleeper credit on wakeups, and reports whether it should preempt the
@@ -94,6 +102,10 @@ func (q *Queue) Enqueue(t *task.Task, wakeup bool) bool {
 		old := t.Sched.Vruntime + t.Sched.QueueClock
 		if floor := q.minVruntime - int64(q.p.SleeperCredit); old < floor {
 			old = floor
+			if q.m != nil && q.m.Tracing() {
+				q.m.Emit(trace.Event{Kind: trace.KindSleeperCredit, Core: q.coreID,
+					Task: t.ID, TaskName: t.Name})
+			}
 		}
 		t.Sched.Vruntime = old
 	} else {

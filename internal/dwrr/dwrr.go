@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/task"
+	"repro/internal/trace"
 )
 
 // Config tunes the scheduler.
@@ -156,6 +157,9 @@ func (q *Queue) PickNext() *task.Task {
 		}
 		// Advance the round: expired tasks become the new active set.
 		q.round++
+		if q.g.m.Tracing() {
+			q.g.m.Emit(trace.Event{Kind: trace.KindRoundAdvance, Core: q.core, N: q.round})
+		}
 		q.active, q.expired = q.expired, q.active[:0]
 	}
 }

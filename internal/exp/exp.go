@@ -14,6 +14,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"repro/internal/metrics"
 )
 
 // Context carries run-wide settings into experiments.
@@ -41,6 +43,15 @@ type Context struct {
 	FailFast bool
 	// Log receives progress lines (nil discards).
 	Log io.Writer
+	// Trace, when set, collects every Submit/Repeat cell's scheduling
+	// events into one Chrome trace stream. Cells record into private
+	// rings and are flushed in submission order, so the trace bytes are
+	// identical at every Parallelism (SubmitFunc custom cells are not
+	// traced — they build their own machines).
+	Trace *TraceSink
+	// Metrics, when set, aggregates every Submit/Repeat cell's metrics
+	// registry, merged in submission order.
+	Metrics *metrics.Aggregate
 
 	// logMu serialises Logf writes: cells complete on worker
 	// goroutines, and experiments log from result callbacks while the

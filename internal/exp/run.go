@@ -7,10 +7,12 @@ import (
 	"repro/internal/cfs"
 	"repro/internal/dwrr"
 	"repro/internal/linuxlb"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/speedbal"
 	"repro/internal/spmd"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/ule"
 )
 
@@ -54,6 +56,13 @@ type RunOpts struct {
 	Setup func(m *sim.Machine)
 	// Limit caps the simulated time (default 2000 s).
 	Limit time.Duration
+	// Tracer, when non-nil, receives the run's scheduling events. The
+	// Runner injects a per-cell ring here when Context.Trace is set.
+	Tracer trace.Tracer
+	// Metrics, when non-nil, collects the run's counters and
+	// distributions. The Runner injects a fresh registry per cell when
+	// Context.Metrics is set.
+	Metrics *metrics.Registry
 }
 
 // RunResult is the outcome of one measurement.
@@ -80,7 +89,7 @@ type RunResult struct {
 // Run executes one measurement.
 func Run(o RunOpts) RunResult {
 	tp := o.Topo()
-	cfg := sim.Config{Seed: o.Seed}
+	cfg := sim.Config{Seed: o.Seed, Tracer: o.Tracer, Metrics: o.Metrics}
 	var dwrrG *dwrr.Global
 	if o.Strategy == StratDWRR {
 		cfg.NewScheduler, dwrrG = dwrr.NewFactory(dwrr.DefaultConfig())
@@ -130,6 +139,21 @@ func Run(o RunOpts) RunResult {
 		limit = 2000 * time.Second
 	}
 	m.Run(int64(limit))
+
+	if o.Metrics != nil {
+		m.Sync()
+		elapsed := m.Now()
+		for _, c := range m.Cores {
+			frac := 0.0
+			if elapsed > 0 {
+				frac = float64(c.BusyTime) / float64(elapsed)
+			}
+			o.Metrics.Gauge(fmt.Sprintf("sim.core%02d.busy_frac", c.ID())).Set(frac)
+		}
+		o.Metrics.Counter("sim.context_switches").Add(int64(m.Stats.ContextSwitches))
+		o.Metrics.Counter("sim.wakeups").Add(int64(m.Stats.Wakeups))
+		o.Metrics.Counter("sim.events").Add(int64(m.Stats.Events))
+	}
 
 	res := RunResult{
 		Elapsed: app.Elapsed(),

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Runner fans an experiment's (configuration × repetition) grid out over
@@ -48,6 +51,12 @@ type runnerItem struct {
 	fn    func(RunResult)
 	then  func()
 
+	// ring and reg are the cell-private observability buffers injected
+	// by submitRun when the context traces/collects; the Wait goroutine
+	// flushes them in submission order.
+	ring *trace.Ring
+	reg  *metrics.Registry
+
 	res     RunResult
 	done    bool
 	skipped bool
@@ -64,13 +73,32 @@ func NewRunner(ctx *Context) *Runner {
 // fn (which may be nil) is invoked during Wait, in submission order, on
 // the Wait goroutine — callbacks never race with one another.
 func (r *Runner) Submit(o RunOpts, fn func(RunResult)) {
-	r.SubmitFunc(fmt.Sprintf("cell %d", len(r.items)), func() RunResult { return Run(o) }, fn)
+	r.submitRun(fmt.Sprintf("cell %d", len(r.items)), o, fn)
 }
 
 // SubmitFunc queues an arbitrary measurement function for runs that need
 // custom machine wiring; label identifies the cell in failure reports.
+// Custom cells are not traced (the run function owns its machine
+// configuration), which keeps the trace stream deterministic: they
+// contribute no events at any parallelism.
 func (r *Runner) SubmitFunc(label string, run func() RunResult, fn func(RunResult)) {
 	r.items = append(r.items, runnerItem{label: label, run: run, fn: fn})
+}
+
+// submitRun queues a RunOpts-based cell, injecting the cell-private
+// trace ring and metrics registry when the context collects them.
+func (r *Runner) submitRun(label string, o RunOpts, fn func(RunResult)) {
+	it := runnerItem{label: label, fn: fn}
+	if r.ctx.Trace != nil {
+		it.ring = r.ctx.Trace.newRing()
+		o.Tracer = it.ring
+	}
+	if r.ctx.Metrics != nil {
+		it.reg = metrics.NewRegistry()
+		o.Metrics = it.reg
+	}
+	it.run = func() RunResult { return Run(o) }
+	r.items = append(r.items, it)
 }
 
 // Repeat queues Context.Reps repetitions of the configuration with
@@ -80,8 +108,7 @@ func (r *Runner) Repeat(config int, o RunOpts, fn func(rep int, res RunResult)) 
 	for rep := 0; rep < r.ctx.Reps; rep++ {
 		rep := rep
 		o.Seed = seedFor(r.ctx.Seed, config, rep)
-		r.SubmitFunc(fmt.Sprintf("config %d rep %d", config, rep),
-			func(o RunOpts) func() RunResult { return func() RunResult { return Run(o) } }(o),
+		r.submitRun(fmt.Sprintf("config %d rep %d", config, rep), o,
 			func(res RunResult) {
 				if fn != nil {
 					fn(rep, res)
@@ -161,6 +188,15 @@ func (r *Runner) Wait() {
 		if it.fn != nil {
 			it.fn(it.res)
 		}
+		// Flush the cell's observability buffers on the delivery
+		// goroutine, in submission order: the trace bytes and the merged
+		// metrics are therefore independent of the parallelism level.
+		if it.ring != nil {
+			r.ctx.Trace.flush(it.label, it.ring)
+		}
+		if it.reg != nil {
+			r.ctx.Metrics.Add(it.reg.Snapshot())
+		}
 		delivered++
 		if d := delivered * 10 / len(cells); d != lastDecile && len(cells) > 1 {
 			lastDecile = d
@@ -171,8 +207,14 @@ func (r *Runner) Wait() {
 
 	r.mu.Lock()
 	err := r.err
+	// Reset so a driver can reuse the runner for another phase. The
+	// failure state must clear too (before the panic below, so a
+	// recovering driver gets a clean runner): a runner left cancelled
+	// would silently skip every cell of the next phase, and a stale err
+	// would re-panic a failure that was already handled.
+	r.err = nil
 	r.mu.Unlock()
-	// Reset so a driver can reuse the runner for another phase.
+	r.cancelled.Store(false)
 	r.items = nil
 	r.next.Store(0)
 	if err != nil {

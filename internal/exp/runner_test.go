@@ -171,3 +171,45 @@ func TestRunnerReuse(t *testing.T) {
 		t.Errorf("delivered %d callbacks across two phases, want 4", n)
 	}
 }
+
+// Regression: Wait used to reset items/next but leave err and cancelled
+// set, so a runner reused after a handled failure (panic recovered by
+// the driver, or an explicit Cancel) silently skipped every cell of the
+// next phase and re-panicked the stale error.
+func TestRunnerReuseAfterCancel(t *testing.T) {
+	ctx := &Context{Reps: 1, Seed: 3, Parallelism: 2}
+	r := NewRunner(ctx)
+
+	// Phase 1 fails; the driver recovers, as a REPL-style caller would.
+	func() {
+		defer func() {
+			if p := recover(); p == nil {
+				t.Fatal("Wait did not panic on the failed phase")
+			}
+		}()
+		r.SubmitFunc("boom", func() RunResult { panic("first phase fails") }, nil)
+		r.Wait()
+	}()
+
+	// Phase 2 on the same runner must run its cells, not skip them, and
+	// Wait must return instead of re-panicking the phase-1 error.
+	n := 0
+	r.Repeat(0, runnerOpts(), func(int, RunResult) { n++ })
+	r.Wait()
+	if n != 1 {
+		t.Errorf("phase 2 delivered %d callbacks, want 1 (stale cancel state skipped cells)", n)
+	}
+
+	// Same for an explicit Cancel that the driver absorbed.
+	func() {
+		defer func() { recover() }()
+		r.Cancel(fmt.Errorf("driver aborted"))
+		r.Wait()
+	}()
+	n = 0
+	r.Repeat(1, runnerOpts(), func(int, RunResult) { n++ })
+	r.Wait()
+	if n != 1 {
+		t.Errorf("post-Cancel phase delivered %d callbacks, want 1", n)
+	}
+}

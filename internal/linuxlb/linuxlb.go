@@ -27,6 +27,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/task"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/xrand"
 )
 
@@ -195,14 +196,28 @@ func (b *Balancer) balanceLevel(c *sim.Core, li int, newIdle bool) bool {
 	cs := b.cores[c.ID()]
 	groups := b.subgroups(c, li)
 
+	tr := b.m.Tracing()
+	label := "linuxlb"
+	if newIdle {
+		label = "linuxlb-newidle"
+	}
+	if tr {
+		b.m.Emit(trace.Event{Kind: trace.KindBalanceWake, Core: c.ID(), Label: label, N: li})
+	}
 	imbalance, busiestGroup := b.imbalance(c, groups, int64(b.m.Topo.Levels[li].ImbalancePct), newIdle)
 	if imbalance <= 0 {
 		cs.failed[li] = 0
+		if tr {
+			b.traceSkip(c.ID(), label, "balanced")
+		}
 		return false
 	}
 	busiest := b.findBusiestQueue(c, busiestGroup, newIdle)
 	if busiest == nil {
 		cs.failed[li] = 0
+		if tr {
+			b.traceSkip(c.ID(), label, "no-busiest-queue")
+		}
 		return false
 	}
 	moved := b.moveTasks(busiest, c, imbalance, cs.failed[li] > b.cfg.MaxFailures)
@@ -215,6 +230,9 @@ func (b *Balancer) balanceLevel(c *sim.Core, li int, newIdle bool) bool {
 		}
 		return true
 	}
+	if tr {
+		b.traceSkip(c.ID(), label, "all-candidates-resisted")
+	}
 	if newIdle {
 		return false
 	}
@@ -226,6 +244,12 @@ func (b *Balancer) balanceLevel(c *sim.Core, li int, newIdle bool) bool {
 		cs.failed[li] = 0
 	}
 	return false
+}
+
+// traceSkip records a balancing pass that moved nothing.
+func (b *Balancer) traceSkip(core int, label, reason string) {
+	b.m.Emit(trace.Event{Kind: trace.KindBalanceSkip, Core: core, Src: core,
+		Label: label, Reason: reason})
 }
 
 // groupLoad sums the weighted queue loads of the group's cores.

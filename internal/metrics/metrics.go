@@ -1,0 +1,353 @@
+// Package metrics is a small deterministic metrics layer for the
+// scheduling stack: named counters, gauges and histograms collected
+// per simulated run, snapshotted in sorted-name order, and merged
+// across the repetitions of an experiment.
+//
+// Design constraints inherited from the bit-identical-output contract:
+//
+//   - A Registry belongs to one simulated machine (one experiment cell)
+//     and is used from that cell's single goroutine — no locks.
+//   - Snapshot output is sorted by metric name, never map-ordered, so a
+//     rendered metrics table is a pure function of the run.
+//   - Aggregation across cells happens in the harness's submission
+//     order (exp.Runner delivers results slot-indexed), so even
+//     float-summing accumulators are order-stable at any -parallel.
+//
+// Instrumentation points check for a nil Registry before recording, the
+// same fast-path discipline as the nil trace.Tracer.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n (n may be any non-negative amount).
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Gauge is a point-in-time float metric (set, not accumulated).
+type Gauge struct{ v float64 }
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Value returns the last set value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram accumulates observations into fixed buckets. Buckets are
+// upper bounds (inclusive); observations above the last bound land in
+// an implicit overflow bucket.
+type Histogram struct {
+	bounds []float64
+	counts []int64 // len(bounds)+1, last = overflow
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the observation mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Registry holds one run's metrics, keyed by name.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it at zero.
+func (r *Registry) Counter(name string) *Counter {
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it at zero.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds (sorted ascending). The bounds of the first
+// creation win; later calls may pass nil.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	h := r.hists[name]
+	if h == nil {
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		h = &Histogram{bounds: bs, counts: make([]int64, len(bs)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// ExpBuckets returns n bounds growing geometrically from start by
+// factor: {start, start·f, start·f², ...} — the standard shape for
+// duration histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n <= 0 || start <= 0 || factor <= 1 {
+		panic(fmt.Sprintf("metrics: invalid ExpBuckets(%v, %v, %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n bounds {start, start+w, start+2w, ...}.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if n <= 0 || width <= 0 {
+		panic(fmt.Sprintf("metrics: invalid LinearBuckets(%v, %v, %d)", start, width, n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// CounterSnap is one counter in a snapshot.
+type CounterSnap struct {
+	Name  string
+	Value int64
+}
+
+// GaugeSnap is one gauge in a snapshot.
+type GaugeSnap struct {
+	Name  string
+	Value float64
+}
+
+// HistSnap is one histogram in a snapshot.
+type HistSnap struct {
+	Name   string
+	Bounds []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+	Min    float64
+	Max    float64
+}
+
+// Mean returns the snapshot's observation mean (0 when empty).
+func (h *HistSnap) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Snapshot is a registry's state at one instant, sorted by name within
+// each metric class — safe to render directly.
+type Snapshot struct {
+	Counters []CounterSnap
+	Gauges   []GaugeSnap
+	Hists    []HistSnap
+}
+
+// Snapshot captures the registry's current state, sorted by name.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s.Counters = append(s.Counters, CounterSnap{Name: n, Value: r.counters[n].v})
+	}
+	names = names[:0]
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: n, Value: r.gauges[n].v})
+	}
+	names = names[:0]
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := r.hists[n]
+		s.Hists = append(s.Hists, HistSnap{
+			Name:   n,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]int64(nil), h.counts...),
+			Count:  h.count,
+			Sum:    h.sum,
+			Min:    h.min,
+			Max:    h.max,
+		})
+	}
+	return s
+}
+
+// Source is implemented by the simulator machine: instrumentation that
+// only holds a task.Waker (the SPMD barrier) type-asserts to reach the
+// run's registry. A nil result means metrics are off.
+type Source interface {
+	Metrics() *Registry
+}
+
+// Aggregate merges the snapshots of an experiment's runs: counters and
+// histogram buckets sum; gauges average across runs. Snapshots must be
+// added in a deterministic order (the harness adds them in cell
+// submission order).
+type Aggregate struct {
+	counters map[string]int64
+	gauges   map[string]*gaugeAgg
+	hists    map[string]*HistSnap
+	runs     int
+}
+
+type gaugeAgg struct {
+	sum float64
+	n   int
+}
+
+// NewAggregate returns an empty aggregate.
+func NewAggregate() *Aggregate {
+	return &Aggregate{
+		counters: make(map[string]int64),
+		gauges:   make(map[string]*gaugeAgg),
+		hists:    make(map[string]*HistSnap),
+	}
+}
+
+// Runs returns how many snapshots have been merged.
+func (a *Aggregate) Runs() int { return a.runs }
+
+// Add merges one run's snapshot.
+func (a *Aggregate) Add(s Snapshot) {
+	a.runs++
+	for _, c := range s.Counters {
+		a.counters[c.Name] += c.Value
+	}
+	for _, g := range s.Gauges {
+		ga := a.gauges[g.Name]
+		if ga == nil {
+			ga = &gaugeAgg{}
+			a.gauges[g.Name] = ga
+		}
+		ga.sum += g.Value
+		ga.n++
+	}
+	for _, h := range s.Hists {
+		ha := a.hists[h.Name]
+		if ha == nil {
+			cp := h
+			cp.Bounds = append([]float64(nil), h.Bounds...)
+			cp.Counts = append([]int64(nil), h.Counts...)
+			a.hists[h.Name] = &cp
+			continue
+		}
+		if ha.Count == 0 || (h.Count > 0 && h.Min < ha.Min) {
+			ha.Min = h.Min
+		}
+		if h.Count > 0 && h.Max > ha.Max {
+			ha.Max = h.Max
+		}
+		ha.Count += h.Count
+		ha.Sum += h.Sum
+		for i := range ha.Counts {
+			if i < len(h.Counts) {
+				ha.Counts[i] += h.Counts[i]
+			}
+		}
+	}
+}
+
+// Snapshot returns the merged state sorted by name. Gauge values are
+// the mean over the runs that set them.
+func (a *Aggregate) Snapshot() Snapshot {
+	var s Snapshot
+	names := make([]string, 0, len(a.counters))
+	for n := range a.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s.Counters = append(s.Counters, CounterSnap{Name: n, Value: a.counters[n]})
+	}
+	names = names[:0]
+	for n := range a.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		g := a.gauges[n]
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: n, Value: g.sum / float64(g.n)})
+	}
+	names = names[:0]
+	for n := range a.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := a.hists[n]
+		cp := *h
+		cp.Bounds = append([]float64(nil), h.Bounds...)
+		cp.Counts = append([]int64(nil), h.Counts...)
+		s.Hists = append(s.Hists, cp)
+	}
+	return s
+}

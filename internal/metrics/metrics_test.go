@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("migrations.speedbal")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("migrations.speedbal") != c {
+		t.Error("Counter is not get-or-create")
+	}
+	g := r.Gauge("core0.busy_frac")
+	g.Set(0.25)
+	g.Set(0.75)
+	if got := g.Value(); got != 0.75 {
+		t.Errorf("gauge = %v, want 0.75", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("speed", []float64{0.5, 1.0, 2.0})
+	for _, v := range []float64{0.1, 0.5, 0.6, 1.5, 3.0, 0.9} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	if len(s.Hists) != 1 {
+		t.Fatalf("hists = %d, want 1", len(s.Hists))
+	}
+	hs := s.Hists[0]
+	// ≤0.5: {0.1, 0.5}; ≤1.0: {0.6, 0.9}; ≤2.0: {1.5}; overflow: {3.0}.
+	want := []int64{2, 2, 1, 1}
+	if !reflect.DeepEqual(hs.Counts, want) {
+		t.Errorf("counts = %v, want %v", hs.Counts, want)
+	}
+	if hs.Count != 6 {
+		t.Errorf("count = %d, want 6", hs.Count)
+	}
+	if hs.Min != 0.1 || hs.Max != 3.0 {
+		t.Errorf("min/max = %v/%v, want 0.1/3", hs.Min, hs.Max)
+	}
+	if got := hs.Mean(); math.Abs(got-6.6/6) > 1e-12 {
+		t.Errorf("mean = %v, want %v", got, 6.6/6)
+	}
+	// Second lookup keeps the original bounds.
+	if h2 := r.Histogram("speed", nil); h2 != h {
+		t.Error("Histogram is not get-or-create")
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		r.Counter(n).Inc()
+		r.Gauge(n).Set(1)
+		r.Histogram(n, []float64{1}).Observe(1)
+	}
+	s := r.Snapshot()
+	wantNames := []string{"alpha", "mid", "zeta"}
+	for i, c := range s.Counters {
+		if c.Name != wantNames[i] {
+			t.Errorf("counter %d = %q, want %q", i, c.Name, wantNames[i])
+		}
+	}
+	for i, g := range s.Gauges {
+		if g.Name != wantNames[i] {
+			t.Errorf("gauge %d = %q, want %q", i, g.Name, wantNames[i])
+		}
+	}
+	for i, h := range s.Hists {
+		if h.Name != wantNames[i] {
+			t.Errorf("hist %d = %q, want %q", i, h.Name, wantNames[i])
+		}
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	mk := func(migs int64, busy float64, speeds ...float64) Snapshot {
+		r := NewRegistry()
+		r.Counter("migrations").Add(migs)
+		r.Gauge("busy").Set(busy)
+		h := r.Histogram("speed", []float64{1.0})
+		for _, v := range speeds {
+			h.Observe(v)
+		}
+		return r.Snapshot()
+	}
+	a := NewAggregate()
+	a.Add(mk(3, 0.5, 0.5, 1.5))
+	a.Add(mk(7, 0.7, 0.25))
+	if a.Runs() != 2 {
+		t.Fatalf("runs = %d, want 2", a.Runs())
+	}
+	s := a.Snapshot()
+	if len(s.Counters) != 1 || s.Counters[0].Value != 10 {
+		t.Errorf("counters = %+v, want migrations=10", s.Counters)
+	}
+	if len(s.Gauges) != 1 || math.Abs(s.Gauges[0].Value-0.6) > 1e-12 {
+		t.Errorf("gauges = %+v, want busy=0.6", s.Gauges)
+	}
+	if len(s.Hists) != 1 {
+		t.Fatalf("hists = %+v", s.Hists)
+	}
+	h := s.Hists[0]
+	if h.Count != 3 || !reflect.DeepEqual(h.Counts, []int64{2, 1}) {
+		t.Errorf("hist = %+v, want count 3 buckets [2 1]", h)
+	}
+	if h.Min != 0.25 || h.Max != 1.5 {
+		t.Errorf("hist min/max = %v/%v, want 0.25/1.5", h.Min, h.Max)
+	}
+	if math.Abs(h.Sum-2.25) > 1e-12 {
+		t.Errorf("hist sum = %v, want 2.25", h.Sum)
+	}
+}
+
+// TestAggregateDeterministic pins that identical snapshot sequences
+// merge to identical snapshots (the harness adds in submission order,
+// so this is the whole cross-parallelism contract for metrics).
+func TestAggregateDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		a := NewAggregate()
+		for i := 0; i < 5; i++ {
+			r := NewRegistry()
+			r.Counter("c").Add(int64(i))
+			r.Gauge("g").Set(float64(i) * 0.1)
+			r.Histogram("h", []float64{1, 2}).Observe(float64(i) * 0.7)
+			a.Add(r.Snapshot())
+		}
+		return a.Snapshot()
+	}
+	if !reflect.DeepEqual(build(), build()) {
+		t.Error("aggregate snapshots differ across identical builds")
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1, 2, 4)
+	if !reflect.DeepEqual(exp, []float64{1, 2, 4, 8}) {
+		t.Errorf("ExpBuckets = %v", exp)
+	}
+	lin := LinearBuckets(0.1, 0.1, 3)
+	want := []float64{0.1, 0.2, 0.30000000000000004}
+	if !reflect.DeepEqual(lin, want) {
+		t.Errorf("LinearBuckets = %v", lin)
+	}
+	for _, fn := range []func(){
+		func() { ExpBuckets(0, 2, 4) },
+		func() { ExpBuckets(1, 1, 4) },
+		func() { LinearBuckets(0, 0, 4) },
+		func() { LinearBuckets(0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid bucket spec did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

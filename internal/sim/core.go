@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/task"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // Core is one logical CPU of the machine. At most one task runs on a
@@ -19,6 +20,10 @@ type Core struct {
 	cur   *task.Task
 	// runStart is when the current task's un-accounted stint began.
 	runStart int64
+	// stintStart is when the current task last went on-CPU (unlike
+	// runStart it survives intermediate accounting settlements); it
+	// anchors the traced run-stint slice.
+	stintStart int64
 	// sliceEnd is when the current task's CFS timeslice expires.
 	sliceEnd int64
 	// gen invalidates stale stop events: every (re)schedule bumps it.
@@ -208,6 +213,7 @@ func (c *Core) begin(t *task.Task) {
 	t.LastRanAt = now
 	c.cur = t
 	c.runStart = now
+	c.stintStart = now
 	c.sliceEnd = now + int64(c.sched.Slice(t))
 	c.needResched = false
 	c.scheduleStop()
@@ -402,6 +408,9 @@ func (c *Core) onStop() {
 	}
 	// Slice expiry or preemption: return the task to the queue and pick
 	// again.
+	if c.m.tracer != nil {
+		c.m.Emit(trace.Event{Kind: trace.KindTimeslice, Core: c.id, Task: t.ID, TaskName: t.Name})
+	}
 	c.stopCurrent()
 	t.State = task.Runnable
 	c.sched.PutPrev(t)
@@ -445,6 +454,12 @@ func (c *Core) advanceCurrent() {
 // blocks or exits it. Dependent cores are settled and re-armed because
 // the occupancy change alters their contention factors.
 func (c *Core) stopCurrent() {
+	if c.m.tracer != nil && c.cur != nil {
+		if d := c.m.now - c.stintStart; d > 0 {
+			c.m.Emit(trace.Event{Kind: trace.KindRunStint, Core: c.id,
+				Task: c.cur.ID, TaskName: c.cur.Name, Dur: d})
+		}
+	}
 	c.m.settleShared(c)
 	c.cur = nil
 	c.gen++

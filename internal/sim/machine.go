@@ -18,8 +18,10 @@ import (
 	"time"
 
 	"repro/internal/eventq"
+	"repro/internal/metrics"
 	"repro/internal/task"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/xrand"
 )
 
@@ -88,6 +90,13 @@ type Config struct {
 	// interleaving grain of a symmetric sched_yield ping-pong (default
 	// 1 ms; the waiters burn CPU either way).
 	YieldGroupCheck time.Duration
+	// Tracer receives scheduling events (migrations, balancer decisions,
+	// barrier crossings, run stints). Nil disables tracing; emission
+	// sites skip event construction entirely on the nil path.
+	Tracer trace.Tracer
+	// Metrics receives run counters and distributions. Nil disables
+	// metric collection.
+	Metrics *metrics.Registry
 }
 
 func (c *Config) fill() {
@@ -126,6 +135,9 @@ type Machine struct {
 	running  bool
 	stopped  bool
 	nextTask int
+	tracer   trace.Tracer
+	metrics  *metrics.Registry
+	traceSeq uint64
 }
 
 // New builds a machine over the topology. The scheduler factory in cfg is
@@ -139,9 +151,11 @@ func New(tp *topo.Topology, cfg Config) *Machine {
 	}
 	cfg.fill()
 	m := &Machine{
-		Topo: tp,
-		cfg:  cfg,
-		rng:  xrand.New(cfg.Seed),
+		Topo:    tp,
+		cfg:     cfg,
+		rng:     xrand.New(cfg.Seed),
+		tracer:  cfg.Tracer,
+		metrics: cfg.Metrics,
 	}
 	m.Stats.Migrations = make(map[string]int)
 	for i := range tp.Cores {
@@ -157,6 +171,27 @@ func New(tp *topo.Topology, cfg Config) *Machine {
 // Now returns the current simulation time in nanoseconds. It implements
 // part of task.Waker.
 func (m *Machine) Now() int64 { return m.now }
+
+// Tracing implements trace.Emitter: instrumentation sites that build
+// expensive events should check it first.
+func (m *Machine) Tracing() bool { return m.tracer != nil }
+
+// Emit implements trace.Emitter: it stamps the event with the current
+// simulated time and the machine-wide emission sequence number, then
+// hands it to the configured tracer. No-op without a tracer.
+func (m *Machine) Emit(e trace.Event) {
+	if m.tracer == nil {
+		return
+	}
+	e.Time = m.now
+	e.Seq = m.traceSeq
+	m.traceSeq++
+	m.tracer.Emit(e)
+}
+
+// Metrics implements metrics.Source; nil means metrics are off and
+// instrumentation sites must skip recording.
+func (m *Machine) Metrics() *metrics.Registry { return m.metrics }
 
 // RNG returns a generator split off the machine stream; each caller gets
 // an independent stream so actors do not perturb one another.
@@ -246,6 +281,9 @@ func (m *Machine) StartOn(t *task.Task, core int) {
 		// core the task starts on.
 		t.HomeNode = m.Topo.Cores[core].Node
 	}
+	if m.tracer != nil {
+		m.Emit(trace.Event{Kind: trace.KindForkPlace, Core: core, Task: t.ID, TaskName: t.Name, Dst: core})
+	}
 	m.advance(t) // fetch the first action
 	if t.State == task.Runnable {
 		m.enqueue(t, core, false)
@@ -294,6 +332,14 @@ func (m *Machine) enqueue(t *task.Task, core int, wakeup bool) {
 	// A yield-waiting current task would voluntarily yield within
 	// microseconds of a competitor arriving; fold that into "now".
 	if preempt || c.cur.Cur.Kind == task.ExecYieldWait {
+		if m.tracer != nil {
+			reason := "wakeup-preempt"
+			if !preempt {
+				reason = "competitor-arrived"
+			}
+			m.Emit(trace.Event{Kind: trace.KindPreempt, Core: core,
+				Task: c.cur.ID, TaskName: c.cur.Name, Reason: reason})
+		}
 		c.requestStop()
 		return
 	}
@@ -367,6 +413,13 @@ func (m *Machine) NoteMigration(t *task.Task, dst int, label string) {
 	t.Migrations++
 	t.LastMigratedAt = m.now
 	m.Stats.Migrations[label]++
+	if m.tracer != nil {
+		m.Emit(trace.Event{Kind: trace.KindMigration, Core: dst,
+			Task: t.ID, TaskName: t.Name, Src: src, Dst: dst, Label: label})
+	}
+	if m.metrics != nil {
+		m.metrics.Counter("migrations." + label).Inc()
+	}
 	t.CoreID = dst
 }
 

@@ -33,6 +33,7 @@ import (
 	"repro/internal/spmd"
 	"repro/internal/task"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/xrand"
 )
 
@@ -384,10 +385,17 @@ func (b *Balancer) sample(j int, now int64) {
 			s *= b.smtFactor(coreID)
 		}
 		b.speeds[j] = s
-		return
+	} else {
+		b.speeds[j] = sum / float64(cnt)
 	}
-	b.speeds[j] = sum / float64(cnt)
+	if reg := b.m.Metrics(); reg != nil {
+		reg.Histogram("speedbal.core_speed", speedBuckets).Observe(b.speeds[j])
+	}
 }
+
+// speedBuckets spans the plausible core-speed range (base clocks ≈ 1;
+// contention and sharing push samples toward 0).
+var speedBuckets = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.25, 1.5, 2.0}
 
 // smtFactor returns the speed discount for the sibling hardware
 // context's current occupancy.
@@ -429,14 +437,25 @@ func (b *Balancer) balance(j int, now int64) {
 		return
 	}
 	sg := b.globalSpeed()
+	local := b.cores[j]
+	tr := b.m.Tracing()
+	if tr {
+		b.m.Emit(trace.Event{Kind: trace.KindBalanceWake, Core: local, Label: "speedbal",
+			SLocal: sj, SGlobal: sg, Threshold: b.cfg.Threshold})
+	}
 	if sg <= 0 || sj <= sg {
+		if tr {
+			b.traceSkip(local, local, "not-above-global", 0, sg)
+		}
 		return
 	}
 	block := int64(b.cfg.PostMigrationBlock) * int64(b.cfg.Interval)
 	if now-b.lastMigration[j] < block {
+		if tr {
+			b.traceSkip(local, local, "post-migration-block", 0, sg)
+		}
 		return
 	}
-	local := b.cores[j]
 	// Collect the suitable remote cores, slowest first; pull from the
 	// slowest one that actually holds a migratable managed thread (a
 	// core occupied only by unrelated work is slow but has nothing for
@@ -453,18 +472,30 @@ func (b *Balancer) balance(j int, now int64) {
 		}
 		sk := b.speeds[k]
 		if sk >= sg || sk/sg >= b.cfg.Threshold {
+			if tr {
+				b.traceSkip(local, remote, "above-threshold", sk, sg)
+			}
 			continue
 		}
 		if now-b.lastMigration[k] < block {
+			if tr {
+				b.traceSkip(local, remote, "post-migration-block", sk, sg)
+			}
 			continue
 		}
 		d := b.m.Topo.Distance(remote, local)
 		if b.cfg.BlockNUMA && d >= topo.DistNUMA {
+			if tr {
+				b.traceSkip(local, remote, "numa-block", sk, sg)
+			}
 			continue
 		}
 		if b.cfg.SMTAware && d == topo.DistSMT {
 			// Moving a thread between two contexts of the same
 			// physical core cannot change its SMT contention.
+			if tr {
+				b.traceSkip(local, remote, "smt-same-core", sk, sg)
+			}
 			continue
 		}
 		cands = append(cands, cand{k, sk, d})
@@ -485,6 +516,9 @@ func (b *Balancer) balance(j int, now int64) {
 	for _, c := range cands {
 		victim := b.pickVictim(b.cores[c.k], local)
 		if victim == nil {
+			if tr {
+				b.traceSkip(local, b.cores[c.k], "no-victim", c.sk, sg)
+			}
 			continue
 		}
 		remote := b.cores[c.k]
@@ -495,6 +529,11 @@ func (b *Balancer) balance(j int, now int64) {
 			// fast-core time at constant utilisation.
 			give := b.pickVictim(local, remote)
 			if give != nil && give != victim {
+				if tr {
+					b.m.Emit(trace.Event{Kind: trace.KindBalancePull, Core: local,
+						Task: victim.ID, TaskName: victim.Name, Src: remote, Dst: local,
+						SLocal: sj, SK: c.sk, SGlobal: sg, Threshold: b.cfg.Threshold})
+				}
 				victim.Affinity = cpuset.Of(local)
 				give.Affinity = cpuset.Of(remote)
 				b.m.MigrateNow(victim, local, "speedbal-swap")
@@ -511,6 +550,11 @@ func (b *Balancer) balance(j int, now int64) {
 		}
 		// sched_setaffinity: re-pin to the destination; the Linux
 		// balancer will not touch it afterwards (§5.2).
+		if tr {
+			b.m.Emit(trace.Event{Kind: trace.KindBalancePull, Core: local,
+				Task: victim.ID, TaskName: victim.Name, Src: remote, Dst: local,
+				SLocal: sj, SK: c.sk, SGlobal: sg, Threshold: b.cfg.Threshold})
+		}
 		victim.Affinity = cpuset.Of(local)
 		b.m.MigrateNow(victim, local, "speedbal")
 		b.Migrations++
@@ -521,6 +565,14 @@ func (b *Balancer) balance(j int, now int64) {
 		b.lastMigration[c.k] = now
 		return
 	}
+}
+
+// traceSkip records a balancer decision not to pull. remote == local
+// marks a whole-pass skip rather than a per-candidate one (the exporter
+// omits the candidate fields in that case).
+func (b *Balancer) traceSkip(local, remote int, reason string, sk, sg float64) {
+	b.m.Emit(trace.Event{Kind: trace.KindBalanceSkip, Core: local, Src: remote,
+		Label: "speedbal", Reason: reason, SK: sk, SGlobal: sg})
 }
 
 // countManaged returns the number of live managed threads on the core.

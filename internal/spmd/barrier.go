@@ -14,7 +14,9 @@ package spmd
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/task"
+	"repro/internal/trace"
 )
 
 // Barrier is an N-party reusable (generational) barrier, implementing
@@ -24,9 +26,15 @@ type Barrier struct {
 	arrived int
 	gen     int
 	waiters []*task.Task
+	// arrivedAt mirrors waiters with each waiter's arrival time, feeding
+	// the barrier-wait histogram when the machine collects metrics.
+	arrivedAt []int64
 	// Crossings counts completed barrier episodes (all N arrived).
 	Crossings int
 }
+
+// waitBuckets spans barrier waits from 1 µs to ~4 s, geometric ×4.
+var waitBuckets = metrics.ExpBuckets(1e3, 4, 12)
 
 // NewBarrier returns a barrier for n parties. It panics if n < 1.
 func NewBarrier(n int) *Barrier {
@@ -41,10 +49,22 @@ func (b *Barrier) N() int { return b.n }
 
 // Arrive implements task.Cond. The last arriver releases all waiters and
 // proceeds immediately; earlier arrivers wait under their task's policy.
+//
+// The waker is the simulated machine; when it also implements
+// trace.Emitter or metrics.Source (type-asserted here to avoid an
+// import cycle on the sim package), arrivals and releases are traced
+// and per-waiter wait durations feed the "barrier.wait_ns" histogram.
 func (b *Barrier) Arrive(t *task.Task, w task.Waker) bool {
+	em, tracing := w.(trace.Emitter)
+	tracing = tracing && em.Tracing()
+	if tracing {
+		em.Emit(trace.Event{Kind: trace.KindBarrierArrive, Core: t.CoreID,
+			Task: t.ID, TaskName: t.Name, N: b.n})
+	}
 	b.arrived++
 	if b.arrived < b.n {
 		b.waiters = append(b.waiters, t)
+		b.arrivedAt = append(b.arrivedAt, w.Now())
 		return false
 	}
 	// Episode complete: open the next generation before releasing, so
@@ -53,8 +73,23 @@ func (b *Barrier) Arrive(t *task.Task, w task.Waker) bool {
 	b.arrived = 0
 	b.gen++
 	b.Crossings++
+	if src, ok := w.(metrics.Source); ok {
+		if reg := src.Metrics(); reg != nil {
+			now := w.Now()
+			h := reg.Histogram("barrier.wait_ns", waitBuckets)
+			for _, at := range b.arrivedAt {
+				h.Observe(float64(now - at))
+			}
+			h.Observe(0) // the last arriver does not wait
+		}
+	}
+	if tracing {
+		em.Emit(trace.Event{Kind: trace.KindBarrierRelease, Core: t.CoreID,
+			Task: t.ID, TaskName: t.Name, N: b.n})
+	}
 	ws := b.waiters
 	b.waiters = nil
+	b.arrivedAt = b.arrivedAt[:0]
 	for _, wt := range ws {
 		w.Release(wt)
 	}

@@ -71,13 +71,17 @@ func TestEdgeCaseSamples(t *testing.T) {
 }
 
 // Ratio metrics against degenerate baselines and receivers must not
-// divide by zero.
+// divide by zero, and must treat empties symmetrically: a comparison
+// with no data on either side reports 0 (no claim), not −100% — an
+// empty baseline used to make every receiver look infinitely worse.
 func TestEdgeCaseRatios(t *testing.T) {
 	empty := &Sample{}
 	zero := &Sample{}
 	zero.Add(0)
 	one := &Sample{}
 	one.Add(1)
+	two := &Sample{}
+	two.Add(2)
 
 	cases := []struct {
 		name     string
@@ -87,9 +91,11 @@ func TestEdgeCaseRatios(t *testing.T) {
 	}{
 		{name: "empty-vs-empty", s: empty, base: empty},
 		{name: "empty-vs-real", s: empty, base: one},
-		{name: "real-vs-empty", s: one, base: empty, improve: -100, worstImp: -100},
+		{name: "real-vs-empty", s: one, base: empty},
 		{name: "zero-vs-real", s: zero, base: one},
+		{name: "real-vs-zero", s: one, base: zero},
 		{name: "equal", s: one, base: one, improve: 0, worstImp: 0},
+		{name: "faster", s: one, base: two, improve: 100, worstImp: 100},
 	}
 	for _, c := range cases {
 		c := c

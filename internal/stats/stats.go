@@ -107,22 +107,25 @@ func (s *Sample) VariationPct() float64 {
 
 // ImprovementPct returns how much faster (in %) the receiver's mean run
 // time is than the baseline's: (base/mean − 1)·100. Positive means the
-// receiver is better (smaller times).
+// receiver is better (smaller times). The guard is symmetric: an empty
+// or zero sample on either side yields 0 (no data, no claim), never the
+// −100% an empty baseline's zero mean would otherwise produce.
 func (s *Sample) ImprovementPct(base *Sample) float64 {
-	m := s.Mean()
-	if m <= 0 {
+	m, b := s.Mean(), base.Mean()
+	if m <= 0 || b <= 0 {
 		return 0
 	}
-	return (base.Mean()/m - 1) * 100
+	return (b/m - 1) * 100
 }
 
-// WorstImprovementPct compares worst cases: (base.Max/s.Max − 1)·100.
+// WorstImprovementPct compares worst cases: (base.Max/s.Max − 1)·100,
+// with the same symmetric empty/zero guard as ImprovementPct.
 func (s *Sample) WorstImprovementPct(base *Sample) float64 {
-	m := s.Max()
-	if m <= 0 {
+	m, b := s.Max(), base.Max()
+	if m <= 0 || b <= 0 {
 		return 0
 	}
-	return (base.Max()/m - 1) * 100
+	return (b/m - 1) * 100
 }
 
 // String summarises the sample.

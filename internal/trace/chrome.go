@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// ChromeWriter streams events as Chrome trace-event JSON (the
+// "JSON Array Format" with a traceEvents wrapper), loadable in
+// chrome://tracing and ui.perfetto.dev.
+//
+// Mapping: each experiment cell becomes one process (pid = cell index,
+// named by BeginCell), each simulated core one thread (tid = core id),
+// so perfetto renders per-core timelines. KindRunStint events export as
+// complete ("X") slices — the task occupying the core — and every other
+// kind as an instant ("i") event with its evidence in args.
+//
+// Output bytes are a pure function of the event sequence: fields are
+// written in a fixed order with fixed number formatting, and no Go map
+// is ever ranged. Timestamps are simulated microseconds (Chrome's unit)
+// printed as ns/1000 with three decimals, exact for integer nanoseconds.
+type ChromeWriter struct {
+	w     *bufio.Writer
+	first bool
+	pid   int
+	// seenTids tracks which (pid, tid) pairs already carry a
+	// thread_name metadata record. Membership-only: never iterated.
+	seenTids map[int]bool
+	err      error
+}
+
+// NewChromeWriter starts a trace stream on w, writing the header
+// immediately. Call Close to terminate the JSON document.
+func NewChromeWriter(w io.Writer) *ChromeWriter {
+	cw := &ChromeWriter{w: bufio.NewWriter(w), first: true}
+	cw.writeString(`{"traceEvents":[`)
+	return cw
+}
+
+// BeginCell opens a new process scope: subsequent events belong to the
+// cell labelled label (pid increments per call). dropped, when nonzero,
+// is recorded on the process metadata so truncated ring buffers are
+// visible in the viewer.
+func (cw *ChromeWriter) BeginCell(label string, dropped uint64) {
+	cw.pid++
+	cw.seenTids = make(map[int]bool)
+	cw.sep()
+	cw.writeString(`{"name":"process_name","ph":"M","pid":`)
+	cw.writeInt(int64(cw.pid))
+	cw.writeString(`,"tid":0,"args":{"name":`)
+	cw.writeQuoted(label)
+	if dropped > 0 {
+		cw.writeString(`,"dropped_events":`)
+		cw.writeInt(int64(dropped))
+	}
+	cw.writeString(`}}`)
+}
+
+// WriteEvent exports one event into the current cell. Events must be
+// written in emission order; BeginCell must have been called first.
+func (cw *ChromeWriter) WriteEvent(e Event) {
+	if cw.pid == 0 {
+		cw.BeginCell("cell", 0)
+	}
+	cw.nameTid(e.Core)
+	cw.sep()
+	if e.Kind == KindRunStint {
+		cw.writeString(`{"name":`)
+		cw.writeQuoted(e.TaskName)
+		cw.writeString(`,"ph":"X","pid":`)
+		cw.writeInt(int64(cw.pid))
+		cw.writeString(`,"tid":`)
+		cw.writeInt(int64(e.Core))
+		cw.writeString(`,"ts":`)
+		cw.writeTS(e.Time - e.Dur)
+		cw.writeString(`,"dur":`)
+		cw.writeTS(e.Dur)
+		cw.writeString(`,"args":{"task":`)
+		cw.writeInt(int64(e.Task))
+		cw.writeString(`,"seq":`)
+		cw.writeInt(int64(e.Seq))
+		cw.writeString(`}}`)
+		return
+	}
+	cw.writeString(`{"name":`)
+	cw.writeQuoted(e.Kind.String())
+	cw.writeString(`,"ph":"i","s":"t","pid":`)
+	cw.writeInt(int64(cw.pid))
+	cw.writeString(`,"tid":`)
+	cw.writeInt(int64(e.Core))
+	cw.writeString(`,"ts":`)
+	cw.writeTS(e.Time)
+	cw.writeString(`,"args":{"seq":`)
+	cw.writeInt(int64(e.Seq))
+	cw.writeArgs(e)
+	cw.writeString(`}}`)
+}
+
+// writeArgs appends the kind-specific evidence fields, in fixed order.
+func (cw *ChromeWriter) writeArgs(e Event) {
+	switch e.Kind {
+	case KindMigration:
+		cw.taskArgs(e)
+		cw.intArg("src", e.Src)
+		cw.intArg("dst", e.Dst)
+		cw.strArg("label", e.Label)
+	case KindBalanceWake:
+		cw.strArg("label", e.Label)
+		cw.floatArg("s_local", e.SLocal)
+		cw.floatArg("s_global", e.SGlobal)
+		cw.floatArg("threshold", e.Threshold)
+	case KindBalanceSkip:
+		cw.strArg("label", e.Label)
+		cw.strArg("reason", e.Reason)
+		if e.Src != e.Core {
+			cw.intArg("candidate", e.Src)
+			cw.floatArg("s_k", e.SK)
+			cw.floatArg("s_global", e.SGlobal)
+		}
+	case KindBalancePull:
+		cw.taskArgs(e)
+		cw.intArg("src", e.Src)
+		cw.intArg("dst", e.Dst)
+		cw.floatArg("s_local", e.SLocal)
+		cw.floatArg("s_k", e.SK)
+		cw.floatArg("s_global", e.SGlobal)
+		cw.floatArg("threshold", e.Threshold)
+	case KindBarrierArrive, KindBarrierRelease:
+		cw.taskArgs(e)
+		cw.intArg("n", e.N)
+	case KindPreempt:
+		cw.taskArgs(e)
+		cw.strArg("reason", e.Reason)
+	case KindTimeslice, KindSleeperCredit:
+		cw.taskArgs(e)
+	case KindForkPlace:
+		cw.taskArgs(e)
+		cw.intArg("dst", e.Dst)
+	case KindRoundAdvance:
+		cw.intArg("round", e.N)
+	}
+}
+
+func (cw *ChromeWriter) taskArgs(e Event) {
+	cw.intArg("task", e.Task)
+	if e.TaskName != "" {
+		cw.strArg("name", e.TaskName)
+	}
+}
+
+// nameTid emits a thread_name metadata record the first time a core
+// appears within the current cell.
+func (cw *ChromeWriter) nameTid(tid int) {
+	if cw.seenTids[tid] {
+		return
+	}
+	cw.seenTids[tid] = true
+	cw.sep()
+	cw.writeString(`{"name":"thread_name","ph":"M","pid":`)
+	cw.writeInt(int64(cw.pid))
+	cw.writeString(`,"tid":`)
+	cw.writeInt(int64(tid))
+	cw.writeString(`,"args":{"name":"core `)
+	cw.writeInt(int64(tid))
+	cw.writeString(`"}}`)
+}
+
+// Close terminates the JSON document and flushes. It does not close the
+// underlying writer. It returns the first error encountered on the
+// stream, if any.
+func (cw *ChromeWriter) Close() error {
+	cw.writeString(`]}`)
+	if err := cw.w.Flush(); cw.err == nil && err != nil {
+		cw.err = err
+	}
+	return cw.err
+}
+
+func (cw *ChromeWriter) sep() {
+	if cw.first {
+		cw.first = false
+		return
+	}
+	cw.writeString(",")
+}
+
+func (cw *ChromeWriter) intArg(key string, v int) {
+	cw.writeString(`,"` + key + `":`)
+	cw.writeInt(int64(v))
+}
+
+func (cw *ChromeWriter) strArg(key, v string) {
+	cw.writeString(`,"` + key + `":`)
+	cw.writeQuoted(v)
+}
+
+func (cw *ChromeWriter) floatArg(key string, v float64) {
+	cw.writeString(`,"` + key + `":`)
+	// Shortest round-trip formatting: deterministic, and valid JSON for
+	// the finite values the balancers produce.
+	cw.writeString(strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// writeTS writes nanoseconds as microseconds with three decimals
+// (Chrome's ts unit), exactly: 1234567 ns → "1234.567".
+func (cw *ChromeWriter) writeTS(ns int64) {
+	cw.writeInt(ns / 1000)
+	rem := ns % 1000
+	if rem < 0 {
+		rem = -rem
+	}
+	cw.writeString(".")
+	if rem < 100 {
+		cw.writeString("0")
+	}
+	if rem < 10 {
+		cw.writeString("0")
+	}
+	cw.writeInt(rem)
+}
+
+func (cw *ChromeWriter) writeInt(v int64) {
+	var buf [20]byte
+	cw.write(strconv.AppendInt(buf[:0], v, 10))
+}
+
+// writeQuoted writes s as a JSON string. strconv.Quote's escaping (Go
+// string syntax) coincides with JSON for the ASCII names and labels the
+// simulator produces, and escapes everything else as \uXXXX, which JSON
+// also accepts.
+func (cw *ChromeWriter) writeQuoted(s string) {
+	var buf [64]byte
+	cw.write(strconv.AppendQuote(buf[:0], s))
+}
+
+func (cw *ChromeWriter) writeString(s string) {
+	if cw.err != nil {
+		return
+	}
+	if _, err := cw.w.WriteString(s); err != nil {
+		cw.err = err
+	}
+}
+
+func (cw *ChromeWriter) write(b []byte) {
+	if cw.err != nil {
+		return
+	}
+	if _, err := cw.w.Write(b); err != nil {
+		cw.err = err
+	}
+}

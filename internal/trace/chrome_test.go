@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Time: 1000, Seq: 0, Kind: KindForkPlace, Core: 0, Task: 1, TaskName: "ep.1", Dst: 2},
+		{Time: 2500, Seq: 1, Kind: KindBalanceWake, Core: 2, Label: "speedbal",
+			SLocal: 0.5, SGlobal: 0.45, Threshold: 0.9},
+		{Time: 2500, Seq: 2, Kind: KindBalanceSkip, Core: 2, Src: 3, Label: "speedbal",
+			Reason: "above-threshold", SK: 0.44, SGlobal: 0.45},
+		{Time: 3000, Seq: 3, Kind: KindBalancePull, Core: 2, Task: 4, TaskName: "ep.4",
+			Src: 5, Dst: 2, SLocal: 0.5, SK: 0.3, SGlobal: 0.45, Threshold: 0.9},
+		{Time: 3000, Seq: 4, Kind: KindMigration, Core: 2, Task: 4, TaskName: "ep.4",
+			Src: 5, Dst: 2, Label: "speedbal"},
+		{Time: 4001, Seq: 5, Kind: KindRunStint, Core: 2, Task: 4, TaskName: "ep.4", Dur: 1001},
+		{Time: 5000, Seq: 6, Kind: KindBarrierArrive, Core: 2, Task: 4, TaskName: "ep.4", N: 3},
+	}
+}
+
+func render(evs []Event) string {
+	var b bytes.Buffer
+	cw := NewChromeWriter(&b)
+	cw.BeginCell("cell 0", 2)
+	for _, e := range evs {
+		cw.WriteEvent(e)
+	}
+	if err := cw.Close(); err != nil {
+		panic(err)
+	}
+	return b.String()
+}
+
+// TestChromeWriterValidJSON checks the stream parses as the Chrome
+// trace-event wrapper format and carries the expected structure.
+func TestChromeWriterValidJSON(t *testing.T) {
+	out := render(sampleEvents())
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	// process_name + two thread_name metadata (cores 0, 2) + 7 events.
+	if len(doc.TraceEvents) != 10 {
+		t.Fatalf("got %d trace events, want 10:\n%s", len(doc.TraceEvents), out)
+	}
+	if doc.TraceEvents[0]["ph"] != "M" {
+		t.Errorf("first record is %v, want process_name metadata", doc.TraceEvents[0])
+	}
+	var sawX, sawI bool
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			sawX = true
+			if e["dur"] != 1.001 {
+				t.Errorf("X dur = %v, want 1.001 µs", e["dur"])
+			}
+			if e["ts"] != 3.0 {
+				t.Errorf("X ts = %v, want 3 µs (end − dur)", e["ts"])
+			}
+		case "i":
+			sawI = true
+		}
+	}
+	if !sawX || !sawI {
+		t.Errorf("missing event phases: X=%v i=%v", sawX, sawI)
+	}
+	if !strings.Contains(out, `"dropped_events":2`) {
+		t.Errorf("dropped count not recorded:\n%s", out)
+	}
+}
+
+// TestChromeWriterDeterministic pins byte-level determinism: identical
+// event sequences must render to identical bytes.
+func TestChromeWriterDeterministic(t *testing.T) {
+	a := render(sampleEvents())
+	b := render(sampleEvents())
+	if a != b {
+		t.Errorf("same events rendered differently:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+// TestChromeWriterEmpty checks a header-only stream (no cells, as a
+// trace of an analytic experiment like fig1 produces) is valid JSON.
+func TestChromeWriterEmpty(t *testing.T) {
+	var b bytes.Buffer
+	cw := NewChromeWriter(&b)
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b.Bytes()) {
+		t.Fatalf("empty stream is invalid JSON: %s", b.String())
+	}
+	if got := b.String(); got != `{"traceEvents":[]}` {
+		t.Errorf("empty stream = %q", got)
+	}
+}
+
+// TestChromeWriterMultiCell checks pid assignment and per-cell thread
+// metadata reset across BeginCell calls.
+func TestChromeWriterMultiCell(t *testing.T) {
+	var b bytes.Buffer
+	cw := NewChromeWriter(&b)
+	cw.BeginCell("config 0 rep 0", 0)
+	cw.WriteEvent(Event{Time: 10, Kind: KindTimeslice, Core: 1, Task: 0, TaskName: "a.0"})
+	cw.BeginCell("config 0 rep 1", 0)
+	cw.WriteEvent(Event{Time: 10, Kind: KindTimeslice, Core: 1, Task: 0, TaskName: "a.0"})
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	pids := map[float64]bool{}
+	threadNames := 0
+	for _, e := range doc.TraceEvents {
+		if pid, ok := e["pid"].(float64); ok {
+			pids[pid] = true
+		}
+		if e["name"] == "thread_name" {
+			threadNames++
+		}
+	}
+	if !pids[1] || !pids[2] {
+		t.Errorf("expected pids 1 and 2, got %v", pids)
+	}
+	if threadNames != 2 {
+		t.Errorf("thread_name metadata emitted %d times, want 2 (once per cell)", threadNames)
+	}
+}

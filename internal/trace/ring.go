@@ -1,0 +1,85 @@
+package trace
+
+// Ring is a bounded in-memory event sink: it keeps the most recent
+// Capacity events, overwriting the oldest when full. A capacity of zero
+// drops every event (a cheap way to measure emission cost without
+// retention). The zero-allocation steady state — storage grows once up
+// to capacity and is then reused — keeps tracing off the simulator's
+// allocation profile.
+//
+// Ring is not safe for concurrent use; each simulated machine (each
+// experiment cell) owns its own ring, which is what makes parallel
+// harness runs trace-deterministic: no two cells share a sink.
+type Ring struct {
+	buf []Event
+	cap int
+	// start indexes the oldest retained event once the ring has wrapped.
+	start   int
+	wrapped bool
+	dropped uint64
+	total   uint64
+}
+
+// NewRing returns a ring retaining up to capacity events. Capacity 0
+// drops all events; negative capacities panic.
+func NewRing(capacity int) *Ring {
+	if capacity < 0 {
+		panic("trace: negative ring capacity")
+	}
+	return &Ring{cap: capacity}
+}
+
+// Emit implements Tracer.
+func (r *Ring) Emit(e Event) {
+	r.total++
+	if r.cap == 0 {
+		r.dropped++
+		return
+	}
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.wrapped = true
+	r.dropped++
+	r.buf[r.start] = e
+	r.start++
+	if r.start == r.cap {
+		r.start = 0
+	}
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int { return len(r.buf) }
+
+// Total returns the number of events ever emitted.
+func (r *Ring) Total() uint64 { return r.total }
+
+// Dropped returns how many events were discarded (capacity 0 counts
+// every emission; a wrapped ring counts the overwritten oldest ones).
+func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// Events returns the retained events oldest-first. The returned slice
+// is freshly allocated; the ring keeps its storage.
+func (r *Ring) Events() []Event {
+	if len(r.buf) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(r.buf))
+	if r.wrapped {
+		out = append(out, r.buf[r.start:]...)
+		out = append(out, r.buf[:r.start]...)
+		return out
+	}
+	out = append(out, r.buf...)
+	return out
+}
+
+// Reset discards all retained events, keeping the storage for reuse.
+func (r *Ring) Reset() {
+	r.buf = r.buf[:0]
+	r.start = 0
+	r.wrapped = false
+	r.dropped = 0
+	r.total = 0
+}

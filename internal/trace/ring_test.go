@@ -1,0 +1,122 @@
+package trace
+
+import "testing"
+
+func ev(time int64, seq uint64) Event {
+	return Event{Time: time, Seq: seq, Kind: KindMigration}
+}
+
+func TestRingBasic(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 3; i++ {
+		r.Emit(ev(int64(i), uint64(i)))
+	}
+	if r.Len() != 3 || r.Total() != 3 || r.Dropped() != 0 {
+		t.Fatalf("len=%d total=%d dropped=%d, want 3/3/0", r.Len(), r.Total(), r.Dropped())
+	}
+	evs := r.Events()
+	for i, e := range evs {
+		if e.Time != int64(i) || e.Seq != uint64(i) {
+			t.Errorf("event %d = (t=%d seq=%d), want (%d, %d)", i, e.Time, e.Seq, i, i)
+		}
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(ev(int64(i), uint64(i)))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", r.Dropped())
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d, want 10", r.Total())
+	}
+	evs := r.Events()
+	// Oldest-first: the last 4 of 10 emissions, i.e. 6, 7, 8, 9.
+	for i, e := range evs {
+		want := int64(6 + i)
+		if e.Time != want {
+			t.Errorf("event %d time = %d, want %d", i, e.Time, want)
+		}
+	}
+}
+
+func TestRingCapacityZeroDropsAll(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 5; i++ {
+		r.Emit(ev(int64(i), uint64(i)))
+	}
+	if r.Len() != 0 {
+		t.Errorf("len = %d, want 0", r.Len())
+	}
+	if r.Events() != nil {
+		t.Errorf("Events() = %v, want nil", r.Events())
+	}
+	if r.Dropped() != 5 || r.Total() != 5 {
+		t.Errorf("dropped=%d total=%d, want 5/5", r.Dropped(), r.Total())
+	}
+}
+
+// TestRingEqualTimestampOrder pins the ordering contract: events at the
+// same simulated instant stay in emission (sequence) order, matching
+// the event queue's (time, seq) firing order — the ring never reorders.
+func TestRingEqualTimestampOrder(t *testing.T) {
+	r := NewRing(8)
+	const at = 100
+	for seq := uint64(0); seq < 6; seq++ {
+		r.Emit(ev(at, seq))
+	}
+	evs := r.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time != at {
+			t.Fatalf("event %d time = %d, want %d", i, evs[i].Time, at)
+		}
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Errorf("seq order broken at %d: %d after %d", i, evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+	// Same with wraparound crossing the seam.
+	r2 := NewRing(4)
+	for seq := uint64(0); seq < 7; seq++ {
+		r2.Emit(ev(at, seq))
+	}
+	evs = r2.Events()
+	if len(evs) != 4 || evs[0].Seq != 3 {
+		t.Fatalf("wrapped events start at seq %d (len %d), want seq 3 len 4", evs[0].Seq, len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Errorf("wrapped seq order broken at %d: %d after %d", i, evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	r := NewRing(2)
+	for i := 0; i < 5; i++ {
+		r.Emit(ev(int64(i), uint64(i)))
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 || r.Dropped() != 0 {
+		t.Fatalf("after Reset: len=%d total=%d dropped=%d, want zeros", r.Len(), r.Total(), r.Dropped())
+	}
+	r.Emit(ev(42, 0))
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Time != 42 {
+		t.Fatalf("after Reset+Emit: %v", evs)
+	}
+}
+
+func TestRingNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRing(-1) did not panic")
+		}
+	}()
+	NewRing(-1)
+}

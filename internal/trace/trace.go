@@ -1,0 +1,155 @@
+// Package trace is the deterministic observability layer of the
+// scheduling stack: typed event records for the decisions the paper's
+// argument turns on — which thread migrated, which core was measured
+// below the speed threshold T_s, how barrier episodes unfold — emitted
+// with simulated timestamps only and stamped with a per-machine
+// sequence number so equal-time events keep the event queue's
+// (time, seq) order.
+//
+// The package has three parts:
+//
+//   - Event / Kind: a flat, allocation-free record. One struct covers
+//     every kind; the exporter knows which fields each kind carries.
+//   - Tracer: the sink interface. Ring is the in-memory ring-buffered
+//     implementation; a nil Tracer disables tracing entirely, and every
+//     emission point in the simulator guards on that nil before building
+//     the record, so untraced runs pay one pointer compare per site
+//     (guarded by BenchmarkTracedVsUntraced in internal/exp).
+//   - ChromeWriter: a streaming Chrome trace-event JSON exporter whose
+//     output loads in chrome://tracing and ui.perfetto.dev as per-core
+//     timelines. Its byte output is a pure function of the event
+//     sequence — fixed field order, fixed float formatting — which is
+//     what lets the experiment harness promise byte-identical trace
+//     files at every -parallel level.
+//
+// Determinism contract: events carry simulated nanoseconds, never wall
+// clock, and no map is iterated anywhere on the export path.
+package trace
+
+// Kind enumerates the event types the scheduling stack emits.
+type Kind uint8
+
+const (
+	// KindMigration is a cross-core task move (sim.Machine.NoteMigration):
+	// Task/TaskName, Src, Dst, Label (the mover: "speedbal", "linuxlb",
+	// "dwrr", ...).
+	KindMigration Kind = iota
+	// KindBalanceWake is a balancer activation: Core, Label, and for the
+	// speed balancer SLocal/SGlobal/Threshold (steps 1–3 of §5.1).
+	KindBalanceWake
+	// KindBalanceSkip is a balancer deciding not to act: Core, Label,
+	// Reason; for per-candidate rejections Src is the candidate core and
+	// SK its measured speed (the threshold test of §5.2).
+	KindBalanceSkip
+	// KindBalancePull is the speed balancer's positive decision, emitted
+	// just before the migration with the full evidence: Task, Src, Dst,
+	// SLocal, SK, SGlobal, Threshold.
+	KindBalancePull
+	// KindBarrierArrive is one thread reaching a barrier: Task, Core,
+	// N = arrivals so far this episode.
+	KindBarrierArrive
+	// KindBarrierRelease is the last arrival opening the barrier: Task,
+	// Core, N = waiters released (Lemma 1's rotation is read off these).
+	KindBarrierRelease
+	// KindPreempt is a forced resched of the running task: Core, Task,
+	// Reason ("wakeup-preempt", "competitor-arrived").
+	KindPreempt
+	// KindTimeslice is a slice-expiry rotation: Core, Task.
+	KindTimeslice
+	// KindForkPlace is initial placement of a new task: Task, Dst.
+	KindForkPlace
+	// KindRunStint is a completed on-CPU stint, emitted when the task
+	// detaches: Core, Task/TaskName, Dur (exported as a Chrome complete
+	// event, giving the per-core timeline).
+	KindRunStint
+	// KindSleeperCredit is CFS clamping a waking sleeper's vruntime to
+	// the GENTLE_FAIR_SLEEPERS floor: Core, Task.
+	KindSleeperCredit
+	// KindRoundAdvance is a DWRR core advancing its round: Core,
+	// N = the new round number.
+	KindRoundAdvance
+)
+
+// String names the kind (the Chrome event name for instant events).
+func (k Kind) String() string {
+	switch k {
+	case KindMigration:
+		return "migration"
+	case KindBalanceWake:
+		return "balance-wake"
+	case KindBalanceSkip:
+		return "balance-skip"
+	case KindBalancePull:
+		return "balance-pull"
+	case KindBarrierArrive:
+		return "barrier-arrive"
+	case KindBarrierRelease:
+		return "barrier-release"
+	case KindPreempt:
+		return "preempt"
+	case KindTimeslice:
+		return "timeslice"
+	case KindForkPlace:
+		return "fork-place"
+	case KindRunStint:
+		return "run"
+	case KindSleeperCredit:
+		return "sleeper-credit"
+	case KindRoundAdvance:
+		return "round-advance"
+	}
+	return "unknown"
+}
+
+// Event is one trace record. It is a flat value — no pointers, no
+// allocation on emit beyond the sink's own storage. Fields beyond Time,
+// Seq and Kind are kind-dependent; unused ones stay zero.
+type Event struct {
+	// Time is the simulated timestamp in nanoseconds. For KindRunStint
+	// it is the stint's end; the start is Time − Dur.
+	Time int64
+	// Seq is the emission sequence number, assigned by the machine.
+	// Events at equal Time are ordered by Seq, matching the event
+	// queue's (time, seq) scheduling order.
+	Seq uint64
+	// Kind selects the record type.
+	Kind Kind
+
+	// Core is the core the event concerns (the Chrome thread id).
+	Core int
+	// Task and TaskName identify the task involved, when any.
+	Task     int
+	TaskName string
+	// Src and Dst are source/destination cores of a move or decision.
+	Src, Dst int
+	// Label identifies the mover or balancer ("speedbal", "linuxlb", ...).
+	Label string
+	// Reason explains a skip/block/preempt ("numa-block", "below-threshold", ...).
+	Reason string
+	// N is a small kind-specific count (barrier arrivals, DWRR round).
+	N int
+	// Dur is a duration in nanoseconds (KindRunStint).
+	Dur int64
+	// SLocal, SK, SGlobal and Threshold carry the speed-balancing
+	// evidence: local core speed, candidate core speed, global average,
+	// and T_s (§5.1–§5.2).
+	SLocal, SK, SGlobal, Threshold float64
+}
+
+// Tracer is a sink for events. Implementations are used from a single
+// simulation goroutine; they need no locking of their own.
+//
+// A nil Tracer means tracing is off: emission points must check for nil
+// before constructing the Event so the untraced hot path does no work.
+type Tracer interface {
+	Emit(e Event)
+}
+
+// Emitter is the stamping façade the simulator machine exposes to
+// packages that only hold a task.Waker (the SPMD barrier): Emit fills
+// Time and Seq and routes to the configured Tracer; Tracing reports
+// whether a Tracer is installed, so callers can skip building records.
+type Emitter interface {
+	Tracing() bool
+	Emit(e Event)
+}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/task"
+	"repro/internal/trace"
 	"repro/internal/xrand"
 )
 
@@ -102,12 +103,21 @@ func (b *Balancer) push(now int64) {
 	if hi == nil || lo == nil || hi == lo {
 		return
 	}
+	tr := b.m.Tracing()
+	if tr {
+		b.m.Emit(trace.Event{Kind: trace.KindBalanceWake, Core: hi.ID(), Label: "ule-push"})
+	}
 	if hi.NrRunnable()-lo.NrRunnable() < b.cfg.MinImbalance {
+		if tr {
+			b.traceSkip(hi.ID(), "ule-push", "below-min-imbalance")
+		}
 		return
 	}
 	if t := b.steal(hi, lo.ID()); t != nil {
 		b.m.Migrate(t, lo.ID(), "ule")
 		b.Pushes++
+	} else if tr {
+		b.traceSkip(hi.ID(), "ule-push", "no-stealable-thread")
 	}
 }
 
@@ -128,7 +138,15 @@ func (b *Balancer) idled(c *sim.Core) {
 	if t := b.steal(busiest, c.ID()); t != nil {
 		b.m.Migrate(t, c.ID(), "ule-pull")
 		b.Pulls++
+	} else if b.m.Tracing() {
+		b.traceSkip(c.ID(), "ule-pull", "no-stealable-thread")
 	}
+}
+
+// traceSkip records a balancing pass that moved nothing.
+func (b *Balancer) traceSkip(core int, label, reason string) {
+	b.m.Emit(trace.Event{Kind: trace.KindBalanceSkip, Core: core, Src: core,
+		Label: label, Reason: reason})
 }
 
 // steal picks a migratable queued thread from src that may run on dst.

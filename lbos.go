@@ -25,6 +25,7 @@
 package lbos
 
 import (
+	"io"
 	"time"
 
 	"repro/internal/cfs"
@@ -33,12 +34,14 @@ import (
 	"repro/internal/dwrr"
 	"repro/internal/exp"
 	"repro/internal/linuxlb"
+	"repro/internal/metrics"
 	"repro/internal/npb"
 	"repro/internal/sim"
 	"repro/internal/speedbal"
 	"repro/internal/spmd"
 	"repro/internal/task"
 	"repro/internal/topo"
+	"repro/internal/trace"
 	"repro/internal/ule"
 )
 
@@ -79,7 +82,36 @@ type (
 	ExperimentContext = exp.Context
 	// ResultTable is a rendered experiment result.
 	ResultTable = exp.Table
+	// Tracer receives the simulator's scheduling events (see WithTracer).
+	Tracer = trace.Tracer
+	// TraceEvent is one scheduling event.
+	TraceEvent = trace.Event
+	// TraceRing is a bounded in-memory event buffer.
+	TraceRing = trace.Ring
+	// MetricsRegistry collects scheduler counters, gauges and histograms
+	// (see WithMetrics).
+	MetricsRegistry = metrics.Registry
 )
+
+// NewTraceRing builds an event buffer keeping the most recent cap
+// events (pass it to WithTracer).
+func NewTraceRing(cap int) *TraceRing { return trace.NewRing(cap) }
+
+// NewMetricsRegistry builds an empty metrics registry (pass it to
+// WithMetrics).
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// WriteChromeTrace exports events as Chrome trace-event JSON, loadable
+// in ui.perfetto.dev: one timeline row per core, run stints as slices,
+// scheduler decisions as instants.
+func WriteChromeTrace(w io.Writer, label string, r *TraceRing) error {
+	cw := trace.NewChromeWriter(w)
+	cw.BeginCell(label, r.Dropped())
+	for _, e := range r.Events() {
+		cw.WriteEvent(e)
+	}
+	return cw.Close()
+}
 
 // Machine presets (Table 1 plus extras).
 var (
@@ -177,6 +209,19 @@ func WithoutBalancing() Option { return func(c *config) { c.osKind = osNone } }
 // WithLinuxConfig overrides the Linux balancer parameters.
 func WithLinuxConfig(cfg LinuxConfig) Option {
 	return func(c *config) { c.linuxCfg = cfg }
+}
+
+// WithTracer streams every scheduling event (migrations, balancer
+// decisions, barrier arrivals, run stints) to t. Tracing observes the
+// simulation without perturbing it: a traced run produces bit-identical
+// results to an untraced one.
+func WithTracer(t Tracer) Option {
+	return func(c *config) { c.simCfg.Tracer = t }
+}
+
+// WithMetrics collects scheduler counters and distributions into r.
+func WithMetrics(r *MetricsRegistry) Option {
+	return func(c *config) { c.simCfg.Metrics = r }
 }
 
 // NewSystem builds a simulated machine running the configured OS
