@@ -6,6 +6,17 @@
 //
 //	lbos list                              # show available experiments
 //	lbos run [flags] <id>... | all         # run experiments
+//	lbos bench [flags]                     # run the performance suite
+//
+// Flags for bench:
+//
+//	-out FILE       write the report here (default: the next free
+//	                BENCH_<n>.json in the current directory)
+//	-baseline FILE  compare against this report and exit non-zero on
+//	                regression (default BENCH_baseline.json when present;
+//	                "" disables)
+//	-tol F          relative regression tolerance (default 0.15)
+//	-q              suppress per-case progress
 //
 // Flags for run:
 //
@@ -38,6 +49,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/exp"
 	"repro/internal/metrics"
+	"repro/internal/perfbench"
 )
 
 func main() {
@@ -50,6 +62,8 @@ func main() {
 		list()
 	case "run":
 		run(os.Args[2:])
+	case "bench":
+		bench(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -57,7 +71,92 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lbos list | lbos run [-reps N] [-scale K] [-seed S] [-parallel P] [-failfast] [-csv DIR] [-trace FILE] [-metrics] [-q] <id>...|all")
+	fmt.Fprintln(os.Stderr, "usage: lbos list | lbos run [-reps N] [-scale K] [-seed S] [-parallel P] [-failfast] [-csv DIR] [-trace FILE] [-metrics] [-q] <id>...|all | lbos bench [-out FILE] [-baseline FILE] [-tol F] [-q]")
+}
+
+// bench runs the perfbench suite, writes BENCH_<n>.json and gates the
+// result against a baseline report when one is available.
+func bench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("out", "", "report output path (default: next free BENCH_<n>.json)")
+	baseline := fs.String("baseline", "", "baseline report to gate against (default BENCH_baseline.json when present)")
+	tol := fs.Float64("tol", 0.15, "relative regression tolerance")
+	quiet := fs.Bool("q", false, "suppress per-case progress")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	var log io.Writer
+	if !*quiet {
+		log = os.Stderr
+	}
+	report := perfbench.RunSuite(log)
+
+	basePath := *baseline
+	if basePath == "" {
+		if _, err := os.Stat("BENCH_baseline.json"); err == nil {
+			basePath = "BENCH_baseline.json"
+		}
+	}
+	failed := false
+	if basePath != "" {
+		base, err := perfbench.Load(basePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		report.Comparison = perfbench.Compare(report, base, basePath, *tol)
+		for _, d := range report.Comparison.Deltas {
+			fmt.Fprintf(os.Stderr, "bench: %-8s vs %s:", d.Name, basePath)
+			if d.NsNormRatio > 0 {
+				fmt.Fprintf(os.Stderr, " ns %+.1f%%", (d.NsNormRatio-1)*100)
+			}
+			if d.AllocsRatio > 0 {
+				fmt.Fprintf(os.Stderr, " allocs %+.1f%%", (d.AllocsRatio-1)*100)
+			}
+			if d.EventsPerSecRatio > 0 {
+				fmt.Fprintf(os.Stderr, " events/s %+.1f%%", (d.EventsPerSecRatio-1)*100)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+		for _, msg := range report.Comparison.Regressions {
+			fmt.Fprintf(os.Stderr, "bench: REGRESSION: %s\n", msg)
+			failed = true
+		}
+	}
+
+	outPath := *out
+	if outPath == "" {
+		outPath = nextBenchFile()
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := report.WriteJSON(f); err == nil {
+		err = f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench: report written to %s\n", outPath)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// nextBenchFile returns the first BENCH_<n>.json that does not exist yet.
+func nextBenchFile() string {
+	for n := 0; ; n++ {
+		name := fmt.Sprintf("BENCH_%d.json", n)
+		if _, err := os.Stat(name); os.IsNotExist(err) {
+			return name
+		}
+	}
 }
 
 func list() {

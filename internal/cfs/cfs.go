@@ -155,7 +155,13 @@ func (q *Queue) PickNext() *task.Task {
 		return nil
 	}
 	t := q.queue[0]
-	q.queue = q.queue[1:]
+	// Shift down instead of re-slicing: q.queue = q.queue[1:] would leak
+	// the front capacity, so every insert after a few picks regrows the
+	// backing array. The queues are short (a handful of tasks), so the
+	// copy is cheaper than the allocation churn.
+	copy(q.queue, q.queue[1:])
+	q.queue[len(q.queue)-1] = nil
+	q.queue = q.queue[:len(q.queue)-1]
 	t.Sched.OnQueue = false
 	q.cur = t
 	q.updateMin()
@@ -230,6 +236,16 @@ func (q *Queue) Queued() []*task.Task {
 	out := make([]*task.Task, len(q.queue))
 	copy(out, q.queue)
 	return out
+}
+
+// EachQueued implements sim.Scheduler: visits queued tasks in (vruntime,
+// ID) order without copying the queue.
+func (q *Queue) EachQueued(fn func(t *task.Task) bool) {
+	for _, t := range q.queue {
+		if !fn(t) {
+			return
+		}
+	}
 }
 
 // MinVruntime exposes the queue clock for tests.

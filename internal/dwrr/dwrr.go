@@ -144,7 +144,11 @@ func (q *Queue) PickNext() *task.Task {
 	for {
 		if len(q.active) > 0 {
 			t := q.active[0]
-			q.active = q.active[1:]
+			// Shift down rather than re-slice so the backing array's front
+			// capacity is not leaked (appends would otherwise regrow it).
+			copy(q.active, q.active[1:])
+			q.active[len(q.active)-1] = nil
+			q.active = q.active[:len(q.active)-1]
 			t.Sched.OnQueue = false
 			q.cur = t
 			return t
@@ -270,6 +274,21 @@ func (q *Queue) Queued() []*task.Task {
 	out = append(out, q.active...)
 	out = append(out, q.expired...)
 	return out
+}
+
+// EachQueued implements sim.Scheduler: active tasks first, then expired,
+// matching Queued's order.
+func (q *Queue) EachQueued(fn func(t *task.Task) bool) {
+	for _, t := range q.active {
+		if !fn(t) {
+			return
+		}
+	}
+	for _, t := range q.expired {
+		if !fn(t) {
+			return
+		}
+	}
 }
 
 func remove(s *[]*task.Task, t *task.Task) bool {

@@ -2,45 +2,126 @@
 // the discrete-event simulator.
 //
 // Events are ordered by (time, sequence): the sequence number is assigned
-// at push time, so two events scheduled for the same instant fire in the
-// order they were scheduled. That stability matters for determinism —
+// at scheduling time, so two events scheduled for the same instant fire in
+// the order they were scheduled. That stability matters for determinism —
 // without it, heap sibling order would decide whether, say, a balancer
 // fires before or after a barrier release at the same nanosecond.
+//
+// The queue is the simulator's hottest allocation site, so it supports two
+// allocation-lean usage patterns on top of the classic Push/Pop:
+//
+//   - Caller-owned events (NewEvent + Schedule): a periodic timer — a
+//     core's stop event, a balancer wake — allocates its Event and its
+//     callback once and reschedules the same handle forever. Schedule
+//     moves a still-pending event inside the heap without re-allocating,
+//     assigning a fresh sequence number so same-time ordering follows the
+//     scheduling order exactly as a remove+push would.
+//   - Pooled events (PushPooled + Release): fire-and-forget timers whose
+//     handle the caller discards draw their Event from a free list; the
+//     event-loop owner returns them with Release after they fire. Handles
+//     to pooled events must not be retained — the struct is reused.
 package eventq
 
 // Time is an absolute simulation time in nanoseconds since the start of
-// the run. It is redeclared by package sim; eventq keeps its own alias so
-// it has no dependencies.
-type Time int64
+// the run. It is an alias of int64 (not a defined type) so that callbacks
+// written against the simulator's int64 clock are assignable without a
+// wrapping closure per scheduled event.
+type Time = int64
 
 // Event is a scheduled callback. Fire is invoked with the event's time.
 type Event struct {
 	At   Time
 	Fire func(now Time)
 
-	seq   uint64
-	index int // heap index, -1 when not queued
+	seq    uint64
+	index  int // heap index, -1 when not queued
+	pooled bool
 }
+
+// NewEvent returns an unqueued event with the given callback, for callers
+// that schedule one timer repeatedly: allocate once, then Schedule it as
+// often as needed.
+func NewEvent(fn func(now Time)) *Event {
+	return &Event{Fire: fn, index: -1}
+}
+
+// Queued reports whether the event is currently pending in a queue.
+func (e *Event) Queued() bool { return e.index >= 0 }
 
 // Queue is a min-heap of events. The zero value is an empty queue ready
 // to use.
 type Queue struct {
 	heap []*Event
 	seq  uint64
+	free []*Event
 }
 
 // Len returns the number of pending events.
 func (q *Queue) Len() int { return len(q.heap) }
 
 // Push schedules fn to fire at time at and returns the event handle,
-// which can be passed to Remove to cancel it.
+// which can be passed to Remove to cancel it. The event is allocated
+// fresh and never reused, so the handle stays valid indefinitely.
 func (q *Queue) Push(at Time, fn func(now Time)) *Event {
-	e := &Event{At: at, Fire: fn, seq: q.seq}
+	e := &Event{At: at, Fire: fn}
+	q.push(e)
+	return e
+}
+
+// PushPooled schedules fn like Push but draws the Event from the queue's
+// free list. The caller must not retain the returned handle past the
+// event's firing: after the event-loop owner calls Release the struct is
+// recycled for an unrelated timer. Use for fire-and-forget timers only.
+func (q *Queue) PushPooled(at Time, fn func(now Time)) *Event {
+	var e *Event
+	if n := len(q.free); n > 0 {
+		e = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		e.At = at
+		e.Fire = fn
+	} else {
+		e = &Event{At: at, Fire: fn, pooled: true}
+	}
+	q.push(e)
+	return e
+}
+
+// Release returns a fired pooled event to the free list. It is a no-op
+// for non-pooled or still-queued events, so the event-loop owner may call
+// it unconditionally on whatever Pop returned after firing it.
+func (q *Queue) Release(e *Event) {
+	if !e.pooled || e.index >= 0 {
+		return
+	}
+	e.Fire = nil // drop the closure so its captures can be collected
+	q.free = append(q.free, e)
+}
+
+// Schedule inserts a caller-owned event at time at, or — if the event is
+// still pending — moves it there, re-allocating nothing. Either way the
+// event receives a fresh sequence number: among events at the same time it
+// fires in the order of the Schedule/Push calls, exactly as if it had
+// been removed and re-pushed.
+func (q *Queue) Schedule(e *Event, at Time) {
+	if e.index >= 0 && q.heap[e.index] == e {
+		e.At = at
+		e.seq = q.seq
+		q.seq++
+		q.down(e.index)
+		q.up(e.index)
+		return
+	}
+	e.At = at
+	q.push(e)
+}
+
+func (q *Queue) push(e *Event) {
+	e.seq = q.seq
 	q.seq++
 	e.index = len(q.heap)
 	q.heap = append(q.heap, e)
 	q.up(e.index)
-	return e
 }
 
 // Pop removes and returns the earliest event, or nil if the queue is
@@ -85,6 +166,10 @@ func (q *Queue) Remove(e *Event) bool {
 		q.up(i)
 	}
 	e.index = -1
+	if e.pooled {
+		e.Fire = nil
+		q.free = append(q.free, e)
+	}
 	return true
 }
 

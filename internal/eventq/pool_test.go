@@ -1,0 +1,146 @@
+package eventq
+
+import "testing"
+
+// Schedule on a pending event moves it without re-allocating, and the
+// fresh sequence number makes it fire after events already scheduled at
+// the destination time — exactly as a remove+push would.
+func TestScheduleMovesWithFreshSeq(t *testing.T) {
+	var q Queue
+	var fired []string
+	mk := func(name string) *Event {
+		return NewEvent(func(Time) { fired = append(fired, name) })
+	}
+	a, b, c := mk("a"), mk("b"), mk("c")
+	q.Schedule(a, 10)
+	q.Schedule(b, 20)
+	q.Schedule(c, 30)
+	// Move a from 10 to 20: it must now fire after b (scheduled at 20
+	// earlier) even though a's original sequence number was lower.
+	q.Schedule(a, 20)
+	for {
+		e := q.Pop()
+		if e == nil {
+			break
+		}
+		e.Fire(e.At)
+	}
+	want := []string{"b", "a", "c"}
+	for i := range want {
+		if i >= len(fired) || fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+// Schedule works on fired (unqueued) events: the owner reschedules the
+// same handle forever.
+func TestScheduleReusesHandle(t *testing.T) {
+	var q Queue
+	n := 0
+	e := NewEvent(func(Time) { n++ })
+	for i := 0; i < 5; i++ {
+		if e.Queued() {
+			t.Fatalf("iteration %d: event still queued", i)
+		}
+		q.Schedule(e, Time(i))
+		if !e.Queued() {
+			t.Fatalf("iteration %d: Schedule left event unqueued", i)
+		}
+		if got := q.Pop(); got != e {
+			t.Fatalf("iteration %d: Pop = %v, want the scheduled event", i, got)
+		}
+		e.Fire(e.At)
+	}
+	if n != 5 {
+		t.Fatalf("fired %d times, want 5", n)
+	}
+}
+
+// Pooled events are recycled through Release and Remove; classic Push
+// events never are, so their handles stay valid.
+func TestPoolRecycling(t *testing.T) {
+	var q Queue
+	p1 := q.PushPooled(1, func(Time) {})
+	q.Pop()
+	q.Release(p1)
+	if p1.Fire != nil {
+		t.Error("Release did not drop the pooled event's closure")
+	}
+	p2 := q.PushPooled(2, func(Time) {})
+	if p2 != p1 {
+		t.Error("PushPooled did not reuse the released event")
+	}
+	// Remove recycles a pooled event directly.
+	if !q.Remove(p2) {
+		t.Fatal("Remove(pooled) = false")
+	}
+	p3 := q.PushPooled(3, func(Time) {})
+	if p3 != p2 {
+		t.Error("Remove did not return the pooled event to the free list")
+	}
+	q.Pop()
+	q.Release(p3)
+
+	// Non-pooled events must never enter the free list.
+	h := q.Push(4, func(Time) {})
+	q.Pop()
+	q.Release(h) // no-op
+	if p := q.PushPooled(5, func(Time) {}); p == h {
+		t.Error("Release recycled a non-pooled event")
+	}
+}
+
+// Release on a still-queued event is a no-op: the event-loop owner may
+// call it unconditionally, but a requeued-from-its-own-callback event
+// must survive.
+func TestReleaseSkipsQueuedEvents(t *testing.T) {
+	var q Queue
+	e := q.PushPooled(1, func(Time) {})
+	top := q.Pop()
+	q.Schedule(top, 2) // callback rescheduled it
+	q.Release(top)
+	if top.Fire == nil {
+		t.Fatal("Release cleared a queued event")
+	}
+	if got := q.Pop(); got != e {
+		t.Fatal("requeued event lost")
+	}
+}
+
+// The hot paths must not allocate once warm: pooled push/pop/release
+// cycles and caller-owned reschedules run allocation-free.
+func TestHotPathAllocations(t *testing.T) {
+	var q Queue
+	fn := func(Time) {}
+	// Warm the heap slice and the free list.
+	for i := 0; i < 64; i++ {
+		q.PushPooled(Time(i), fn)
+	}
+	for q.Len() > 0 {
+		q.Release(q.Pop())
+	}
+
+	if avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			q.PushPooled(Time(i), fn)
+		}
+		for q.Len() > 0 {
+			q.Release(q.Pop())
+		}
+	}); avg != 0 {
+		t.Errorf("pooled push/pop/release: %v allocs/run, want 0", avg)
+	}
+
+	e := NewEvent(fn)
+	at := Time(0)
+	if avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			at++
+			q.Schedule(e, at)
+		}
+		q.Pop()
+	}); avg != 0 {
+		t.Errorf("owned-event reschedule: %v allocs/run, want 0", avg)
+	}
+}

@@ -86,6 +86,32 @@ type coreState struct {
 	// staleLoad is the queue length snapshot from the last tick, used
 	// by fork placement.
 	staleLoad int64
+	// levels[li] is the precomputed sched-group structure this core
+	// compares when balancing at domain level li. The topology is static,
+	// so the groups, their core lists and the level span are derived once
+	// at Start instead of on every tick.
+	levels []levelGroups
+	// tick is the core's reusable scheduler-tick timer.
+	tick *sim.Timer
+}
+
+// levelGroups caches one (core, level) balancing view.
+type levelGroups struct {
+	// groups are the child groups compared at the level, in the same
+	// deterministic order subgroup discovery yields them.
+	groups []groupInfo
+	// local is the index in groups of the group containing the core, or
+	// -1 if none does.
+	local int
+	// span lists the core IDs of the level's whole span (the
+	// active-balance push targets).
+	span []int
+}
+
+// groupInfo is one sched group with its core list materialised.
+type groupInfo struct {
+	set   cpuset.Set
+	cores []int
 }
 
 // New creates the balancer with the given configuration.
@@ -104,15 +130,21 @@ func (b *Balancer) Start(m *sim.Machine) {
 		cs := &coreState{
 			nextBalance: make([]int64, len(m.Topo.Levels)),
 			failed:      make([]int, len(m.Topo.Levels)),
+			levels:      make([]levelGroups, len(m.Topo.Levels)),
 		}
 		for li, l := range m.Topo.Levels {
 			cs.nextBalance[li] = int64(l.BusyInterval)
+			cs.levels[li] = b.buildLevel(i, li)
 		}
 		b.cores[i] = cs
 		// Stagger ticks across cores as real timer interrupts are.
 		off := b.rng.Jitter(int64(b.cfg.Tick))
 		core := m.Cores[i]
-		b.scheduleTick(core, m.Now()+off)
+		cs.tick = m.NewTimer(func(now int64) {
+			b.tick(core, now)
+			cs.tick.Schedule(now + int64(b.cfg.Tick))
+		})
+		cs.tick.Schedule(m.Now() + off)
 	}
 	if b.cfg.StalePlacement {
 		m.SetPlacer(b)
@@ -120,11 +152,31 @@ func (b *Balancer) Start(m *sim.Machine) {
 	m.OnIdle(b.newIdle)
 }
 
-func (b *Balancer) scheduleTick(c *sim.Core, at int64) {
-	b.m.At(at, func(now int64) {
-		b.tick(c, now)
-		b.scheduleTick(c, now+int64(b.cfg.Tick))
-	})
+// buildLevel materialises the sched groups core id compares at level li:
+// the level-(li−1) groups inside the level-li span, or per-core
+// singletons at the innermost level. This mirrors the kernel structure
+// where a domain's sched_groups are its child domains.
+func (b *Balancer) buildLevel(id, li int) levelGroups {
+	span := b.m.Topo.Levels[li].GroupOf(id)
+	lg := levelGroups{local: -1, span: span.Cores()}
+	add := func(g cpuset.Set) {
+		if g.Has(id) {
+			lg.local = len(lg.groups)
+		}
+		lg.groups = append(lg.groups, groupInfo{set: g, cores: g.Cores()})
+	}
+	if li == 0 {
+		for _, c := range span.Cores() {
+			add(cpuset.Of(c))
+		}
+		return lg
+	}
+	for _, g := range b.m.Topo.Levels[li-1].Groups {
+		if span.Contains(g) {
+			add(g)
+		}
+	}
+	return lg
 }
 
 // tick is the per-core scheduler tick: refresh the load snapshot and run
@@ -149,44 +201,21 @@ func (b *Balancer) tick(c *sim.Core, now int64) {
 	}
 }
 
-// subgroups returns the child groups a balancing pass at level li
-// compares: the level-(li−1) groups inside the level-li span of core c,
-// or per-core singletons at the innermost level. This mirrors the kernel
-// structure where a domain's sched_groups are its child domains.
-func (b *Balancer) subgroups(c *sim.Core, li int) []cpuset.Set {
-	span := b.m.Topo.Levels[li].GroupOf(c.ID())
-	if li == 0 {
-		out := make([]cpuset.Set, 0, span.Count())
-		for _, id := range span.Cores() {
-			out = append(out, cpuset.Of(id))
-		}
-		return out
-	}
-	var out []cpuset.Set
-	for _, g := range b.m.Topo.Levels[li-1].Groups {
-		if span.Contains(g) {
-			out = append(out, g)
-		}
-	}
-	return out
-}
-
 // shouldBalance gates balancing at a level to one core per child group:
 // the first idle core of the local subgroup, or its first core when none
 // is idle (Linux's should_we_balance).
 func (b *Balancer) shouldBalance(c *sim.Core, li int) bool {
-	for _, g := range b.subgroups(c, li) {
-		if !g.Has(c.ID()) {
-			continue
-		}
-		for _, id := range g.Cores() {
-			if b.m.Cores[id].Idle() {
-				return id == c.ID()
-			}
-		}
-		return g.First() == c.ID()
+	lg := &b.cores[c.ID()].levels[li]
+	if lg.local < 0 {
+		return true
 	}
-	return true
+	g := &lg.groups[lg.local]
+	for _, id := range g.cores {
+		if b.m.Cores[id].Idle() {
+			return id == c.ID()
+		}
+	}
+	return g.cores[0] == c.ID()
 }
 
 // balanceLevel runs one load_balance pass pulling toward core c at
@@ -194,7 +223,7 @@ func (b *Balancer) shouldBalance(c *sim.Core, li int) bool {
 // with more than one".
 func (b *Balancer) balanceLevel(c *sim.Core, li int, newIdle bool) bool {
 	cs := b.cores[c.ID()]
-	groups := b.subgroups(c, li)
+	lg := &cs.levels[li]
 
 	tr := b.m.Tracing()
 	label := "linuxlb"
@@ -204,7 +233,7 @@ func (b *Balancer) balanceLevel(c *sim.Core, li int, newIdle bool) bool {
 	if tr {
 		b.m.Emit(trace.Event{Kind: trace.KindBalanceWake, Core: c.ID(), Label: label, N: li})
 	}
-	imbalance, busiestGroup := b.imbalance(c, groups, int64(b.m.Topo.Levels[li].ImbalancePct), newIdle)
+	imbalance, busiestGroup := b.imbalance(lg, int64(b.m.Topo.Levels[li].ImbalancePct), newIdle)
 	if imbalance <= 0 {
 		cs.failed[li] = 0
 		if tr {
@@ -253,8 +282,8 @@ func (b *Balancer) traceSkip(core int, label, reason string) {
 }
 
 // groupLoad sums the weighted queue loads of the group's cores.
-func (b *Balancer) groupLoad(g cpuset.Set) (load int64, ncores int64) {
-	for _, id := range g.Cores() {
+func (b *Balancer) groupLoad(cores []int) (load int64, ncores int64) {
+	for _, id := range cores {
 		load += b.m.Cores[id].Scheduler().WeightedLoad()
 		ncores++
 	}
@@ -262,21 +291,21 @@ func (b *Balancer) groupLoad(g cpuset.Set) (load int64, ncores int64) {
 }
 
 // imbalance computes the load amount (in weight units) that should move
-// into the local subgroup and the busiest subgroup it should come from.
-// This is the integer arithmetic at the core of the paper's critique:
-// for equal-weight tasks split 3-vs-2 it yields 0.
-func (b *Balancer) imbalance(c *sim.Core, groups []cpuset.Set, imbPct int64, newIdle bool) (int64, cpuset.Set) {
+// into the local subgroup and the busiest subgroup it should come from
+// (nil when no remote group qualifies). This is the integer arithmetic
+// at the core of the paper's critique: for equal-weight tasks split
+// 3-vs-2 it yields 0.
+func (b *Balancer) imbalance(lg *levelGroups, imbPct int64, newIdle bool) (int64, *groupInfo) {
 	var localAvg, maxAvg int64
 	var totalLoad, totalN int64
-	var busiest cpuset.Set
-	localN := int64(1)
-	for _, g := range groups {
-		load, n := b.groupLoad(g)
+	var busiest *groupInfo
+	for gi := range lg.groups {
+		g := &lg.groups[gi]
+		load, n := b.groupLoad(g.cores)
 		totalLoad += load
 		totalN += n
-		if g.Has(c.ID()) {
+		if gi == lg.local {
 			localAvg = load / n
-			localN = n
 			continue
 		}
 		if a := load / n; a > maxAvg {
@@ -284,8 +313,7 @@ func (b *Balancer) imbalance(c *sim.Core, groups []cpuset.Set, imbPct int64, new
 			busiest = g
 		}
 	}
-	_ = localN
-	if busiest.Empty() || totalN == 0 {
+	if busiest == nil || totalN == 0 {
 		return 0, busiest
 	}
 	if newIdle {
@@ -326,10 +354,10 @@ func (b *Balancer) imbalance(c *sim.Core, groups []cpuset.Set, imbPct int64, new
 }
 
 // findBusiestQueue returns the most loaded core of the busiest subgroup.
-func (b *Balancer) findBusiestQueue(c *sim.Core, group cpuset.Set, newIdle bool) *sim.Core {
+func (b *Balancer) findBusiestQueue(c *sim.Core, group *groupInfo, newIdle bool) *sim.Core {
 	var busiest *sim.Core
 	var maxLoad int64
-	for _, id := range group.Cores() {
+	for _, id := range group.cores {
 		if id == c.ID() {
 			continue
 		}
@@ -353,21 +381,21 @@ func (b *Balancer) moveTasks(src, dst *sim.Core, amount int64, force bool) int {
 	now := b.m.Now()
 	for amount > 0 {
 		var pick *task.Task
-		for _, t := range src.Queued() {
+		src.Scheduler().EachQueued(func(t *task.Task) bool {
 			if !t.Affinity.Has(dst.ID()) {
-				continue
+				return true
 			}
 			if t.Sched.Weight > amount && moved > 0 {
-				continue
+				return true
 			}
 			hot := now-t.LastRanAt < int64(b.cfg.CacheHot) &&
 				b.m.Topo.Distance(src.ID(), dst.ID()) > topo.DistSMT
 			if hot && !force {
-				continue
+				return true
 			}
 			pick = t
-			break
-		}
+			return false
+		})
 		if pick == nil {
 			break
 		}
@@ -386,10 +414,10 @@ func (b *Balancer) activeBalance(busiest *sim.Core, li int) {
 	if t == nil {
 		return
 	}
-	span := b.m.Topo.Levels[li].GroupOf(busiest.ID())
+	span := b.cores[busiest.ID()].levels[li].span
 	var target *sim.Core
 	var minLoad int64
-	for _, id := range span.Cores() {
+	for _, id := range span {
 		if id == busiest.ID() || !t.Affinity.Has(id) {
 			continue
 		}

@@ -1,0 +1,330 @@
+// Package perfbench is the continuous benchmark harness behind `lbos
+// bench`: it runs a fixed suite of simulator benchmarks, reports them as
+// a BENCH_<n>.json document, and gates regressions against a committed
+// baseline.
+//
+// The suite has three kinds of cases:
+//
+//   - calib: a pure-arithmetic spin, independent of the simulator. Its
+//     ns/op measures the host, so dividing every other case's ns/op by
+//     it (the ns_norm field) yields a hardware-normalised figure that
+//     can be compared against a baseline recorded on a different
+//     machine. Allocation counts need no such normalisation — they are
+//     exact and host-independent.
+//   - wake: a balancer-wake micro-benchmark. One op advances a
+//     steady-state oversubscribed speed-balanced application by one
+//     balance interval, exercising the event-queue and sampling hot
+//     paths with tracing off.
+//   - experiment cases (fig2, fig3t, fig5, abl-int): full experiment
+//     runs at pinned seed and scale. Their events_per_sec is the
+//     end-to-end simulator throughput the ROADMAP cares about.
+//
+// Regression gate: a report compared against a baseline fails when any
+// case's allocs/op grows beyond the tolerance, or its calibrated ns/op
+// (ns_norm) does. Wall-clock noise is absorbed by the calibration case;
+// allocation counts are deterministic.
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/cfs"
+	"repro/internal/exp"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/speedbal"
+	"repro/internal/spmd"
+	"repro/internal/topo"
+)
+
+// Schema is the BENCH_<n>.json schema version.
+const Schema = 1
+
+// suiteSeed pins every simulation in the suite.
+const suiteSeed = 20100109
+
+// Case is one benchmark measurement in a report.
+type Case struct {
+	Name string `json:"name"`
+	Desc string `json:"desc,omitempty"`
+	// N is the iteration count the numbers below are averaged over.
+	N int `json:"n"`
+	// NsPerOp is raw wall time per op — host-dependent; compare NsNorm.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp come from the Go allocator and are
+	// host-independent.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// EventsPerOp counts simulator events processed per op (0 for the
+	// calibration case); it is a pure function of the seed.
+	EventsPerOp float64 `json:"events_per_op,omitempty"`
+	// EventsPerSec is the simulator throughput EventsPerOp/NsPerOp.
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// NsNorm is NsPerOp divided by the calibration case's NsPerOp —
+	// the hardware-normalised cost a baseline comparison uses.
+	NsNorm float64 `json:"ns_norm,omitempty"`
+}
+
+// Report is the BENCH_<n>.json document.
+type Report struct {
+	Schema    int    `json:"schema"`
+	Tool      string `json:"tool"`
+	GoVersion string `json:"go"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	Suite     []Case `json:"suite"`
+	// Comparison is present when the run was gated against a baseline.
+	Comparison *Comparison `json:"comparison,omitempty"`
+}
+
+// Comparison records a baseline gate evaluation.
+type Comparison struct {
+	Baseline  string  `json:"baseline"`
+	Tolerance float64 `json:"tolerance"`
+	Deltas    []Delta `json:"deltas"`
+	// Regressions lists human-readable gate failures; empty means pass.
+	Regressions []string `json:"regressions,omitempty"`
+}
+
+// Delta is one case's new/baseline ratios (1.0 = unchanged, lower is
+// better for costs, higher is better for events_per_sec).
+type Delta struct {
+	Name              string  `json:"name"`
+	NsNormRatio       float64 `json:"ns_norm_ratio,omitempty"`
+	AllocsRatio       float64 `json:"allocs_ratio,omitempty"`
+	EventsPerSecRatio float64 `json:"events_per_sec_ratio,omitempty"`
+}
+
+// Spec declares one suite case: bench runs the measurement b.N times and
+// returns the total number of simulator events processed inside the
+// timed region.
+type Spec struct {
+	Name  string
+	Desc  string
+	bench func(b *testing.B) (events int64)
+}
+
+// Suite returns the fixed benchmark suite, calibration first.
+func Suite() []Spec {
+	return []Spec{
+		{
+			Name:  "calib",
+			Desc:  "pure-arithmetic host calibration (normalises ns/op across machines)",
+			bench: calibBench,
+		},
+		{
+			Name:  "wake",
+			Desc:  "one balance interval of a steady-state speed-balanced app, tracing off",
+			bench: wakeBench,
+		},
+		experimentCase("fig2", "round-robin vs load-balanced placement sweep"),
+		experimentCase("fig3t", "speedup of NAS-like benchmarks under the balancers"),
+		experimentCase("fig5", "multiprogrammed speedup"),
+		experimentCase("abl-int", "balance-interval ablation"),
+	}
+}
+
+// sink defeats dead-code elimination in calibBench.
+var sink uint64
+
+// calibBench spins a fixed amount of integer arithmetic: no memory
+// traffic, no simulator, no allocation — as close to a pure clock-rate
+// probe as portable Go gets.
+func calibBench(b *testing.B) int64 {
+	b.ReportAllocs()
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 1<<21; j++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+	}
+	sink = x
+	return 0
+}
+
+// wakeBench measures the balancer-wake hot path: 32 UPC threads on the
+// 16-core Tigerton under speed balancing, advanced one 100 ms balance
+// interval per op. The app is effectively endless, so every op does the
+// same steady-state work: ~16 balancer wakes (sample + balance) plus the
+// compute/barrier event traffic they ride on.
+func wakeBench(b *testing.B) int64 {
+	m := sim.New(topo.Tigerton(), sim.Config{Seed: suiteSeed, NewScheduler: cfs.Factory()})
+	app := spmd.Build(m, spmd.Spec{
+		Name:             "wake",
+		Threads:          32,
+		Iterations:       1 << 30,
+		WorkPerIteration: 3e6, // 3 ms between barriers
+		Model:            spmd.UPC(),
+	})
+	bal := speedbal.New(speedbal.Config{})
+	bal.Launch(m, app)
+	m.RunFor(time.Second) // reach steady state
+	before := m.Stats.Events
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.RunFor(100 * time.Millisecond)
+	}
+	b.StopTimer()
+	return int64(m.Stats.Events - before)
+}
+
+// experimentCase wraps a registered experiment as a suite case: one op
+// is a full single-rep serial run at scale 8 and the pinned seed, with
+// the event count taken from the harness metrics.
+func experimentCase(id, desc string) Spec {
+	return Spec{
+		Name: id,
+		Desc: desc,
+		bench: func(b *testing.B) (events int64) {
+			e, err := exp.ByID(id)
+			if err != nil {
+				panic(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ctx := &exp.Context{
+					Reps: 1, Scale: 8, Seed: suiteSeed,
+					Parallelism: 1,
+					Metrics:     metrics.NewAggregate(),
+				}
+				e.Run(ctx)
+				events += counterValue(ctx.Metrics.Snapshot(), "sim.events")
+			}
+			return events
+		},
+	}
+}
+
+// counterValue reads one counter from a snapshot (0 when absent).
+func counterValue(s metrics.Snapshot, name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// RunSuite executes the suite and assembles a report. log, when
+// non-nil, receives a progress line per completed case.
+func RunSuite(log io.Writer) *Report {
+	r := &Report{
+		Schema:    Schema,
+		Tool:      "lbos bench",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	var calibNs float64
+	for _, spec := range Suite() {
+		var events int64
+		res := testing.Benchmark(func(b *testing.B) {
+			events = spec.bench(b)
+		})
+		c := Case{
+			Name:        spec.Name,
+			Desc:        spec.Desc,
+			N:           res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		if events > 0 {
+			c.EventsPerOp = float64(events) / float64(res.N)
+			if res.T > 0 {
+				c.EventsPerSec = float64(events) / res.T.Seconds()
+			}
+		}
+		if spec.Name == "calib" {
+			calibNs = c.NsPerOp
+		} else if calibNs > 0 {
+			c.NsNorm = c.NsPerOp / calibNs
+		}
+		r.Suite = append(r.Suite, c)
+		if log != nil {
+			fmt.Fprintf(log, "bench: %-8s %12.0f ns/op %8d allocs/op %10d B/op",
+				c.Name, c.NsPerOp, c.AllocsPerOp, c.BytesPerOp)
+			if c.EventsPerSec > 0 {
+				fmt.Fprintf(log, " %12.0f events/s", c.EventsPerSec)
+			}
+			fmt.Fprintln(log)
+		}
+	}
+	return r
+}
+
+// Compare evaluates report r against a baseline with the given relative
+// tolerance (0.15 = 15%). The allocs/op gate is absolute (counts are
+// host-independent); the ns/op gate uses the calibration-normalised
+// figures so baselines recorded on other machines stay meaningful. The
+// calibration case itself is never gated.
+func Compare(r, base *Report, baselinePath string, tol float64) *Comparison {
+	cmp := &Comparison{Baseline: baselinePath, Tolerance: tol}
+	old := make(map[string]Case, len(base.Suite))
+	for _, c := range base.Suite {
+		old[c.Name] = c
+	}
+	for _, c := range r.Suite {
+		if c.Name == "calib" {
+			continue
+		}
+		o, ok := old[c.Name]
+		if !ok {
+			continue
+		}
+		d := Delta{Name: c.Name}
+		if o.NsNorm > 0 && c.NsNorm > 0 {
+			d.NsNormRatio = c.NsNorm / o.NsNorm
+			if d.NsNormRatio > 1+tol {
+				cmp.Regressions = append(cmp.Regressions, fmt.Sprintf(
+					"%s: normalised ns/op regressed %.1f%% (%.3f -> %.3f, tolerance %.0f%%)",
+					c.Name, (d.NsNormRatio-1)*100, o.NsNorm, c.NsNorm, tol*100))
+			}
+		}
+		if o.AllocsPerOp > 0 {
+			d.AllocsRatio = float64(c.AllocsPerOp) / float64(o.AllocsPerOp)
+			if d.AllocsRatio > 1+tol {
+				cmp.Regressions = append(cmp.Regressions, fmt.Sprintf(
+					"%s: allocs/op regressed %.1f%% (%d -> %d, tolerance %.0f%%)",
+					c.Name, (d.AllocsRatio-1)*100, o.AllocsPerOp, c.AllocsPerOp, tol*100))
+			}
+		}
+		if o.EventsPerSec > 0 && c.EventsPerSec > 0 {
+			d.EventsPerSecRatio = c.EventsPerSec / o.EventsPerSec
+		}
+		cmp.Deltas = append(cmp.Deltas, d)
+	}
+	return cmp
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Load reads a report from a file.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perfbench: parsing %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("perfbench: %s has schema %d, want %d", path, r.Schema, Schema)
+	}
+	return &r, nil
+}

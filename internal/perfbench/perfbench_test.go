@@ -1,0 +1,123 @@
+package perfbench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(cases ...Case) *Report {
+	return &Report{Schema: Schema, Tool: "lbos bench", Suite: cases}
+}
+
+// The gate flags normalised-ns and allocs regressions beyond tolerance,
+// stays quiet inside it, and never gates the calibration case.
+func TestCompareGates(t *testing.T) {
+	base := report(
+		Case{Name: "calib", NsPerOp: 1e6},
+		Case{Name: "wake", NsNorm: 1.0, AllocsPerOp: 1000, EventsPerSec: 1e6},
+	)
+	// Within tolerance: 10% slower, same allocs.
+	ok := report(
+		Case{Name: "calib", NsPerOp: 2e6}, // calib shift alone is not a regression
+		Case{Name: "wake", NsNorm: 1.10, AllocsPerOp: 1000, EventsPerSec: 9e5},
+	)
+	c := Compare(ok, base, "base.json", 0.15)
+	if len(c.Regressions) != 0 {
+		t.Errorf("within-tolerance run flagged: %v", c.Regressions)
+	}
+	if len(c.Deltas) != 1 || c.Deltas[0].Name != "wake" {
+		t.Fatalf("deltas = %+v, want exactly the wake case", c.Deltas)
+	}
+	if got := c.Deltas[0].EventsPerSecRatio; got != 0.9 {
+		t.Errorf("events/s ratio = %v, want 0.9", got)
+	}
+
+	// Past tolerance on both gated axes.
+	bad := report(
+		Case{Name: "calib", NsPerOp: 1e6},
+		Case{Name: "wake", NsNorm: 1.30, AllocsPerOp: 1300, EventsPerSec: 1e6},
+	)
+	c = Compare(bad, base, "base.json", 0.15)
+	if len(c.Regressions) != 2 {
+		t.Fatalf("regressions = %v, want ns and allocs", c.Regressions)
+	}
+	for _, r := range c.Regressions {
+		if !strings.HasPrefix(r, "wake: ") {
+			t.Errorf("regression %q not attributed to its case", r)
+		}
+	}
+
+	// A case missing from the baseline is skipped, not gated.
+	extra := report(Case{Name: "brand-new", NsNorm: 99, AllocsPerOp: 99})
+	if c := Compare(extra, base, "base.json", 0.15); len(c.Regressions) != 0 {
+		t.Errorf("unknown case gated: %v", c.Regressions)
+	}
+}
+
+// Reports survive a write/load round trip, and Load rejects foreign
+// schema versions.
+func TestJSONRoundTrip(t *testing.T) {
+	r := report(Case{Name: "wake", N: 7, NsPerOp: 123.5, AllocsPerOp: 42,
+		EventsPerOp: 10, EventsPerSec: 5e6, NsNorm: 0.5})
+	r.Comparison = &Comparison{Baseline: "b.json", Tolerance: 0.15,
+		Deltas: []Delta{{Name: "wake", AllocsRatio: 0.5}}}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(r)
+	have, _ := json.Marshal(got)
+	if !bytes.Equal(want, have) {
+		t.Errorf("round trip changed the report:\n%s\n%s", want, have)
+	}
+
+	bad := *r
+	bad.Schema = Schema + 1
+	buf.Reset()
+	if err := bad.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("Load accepted a report with a foreign schema version")
+	}
+}
+
+// The committed suite stays calibration-first with unique names — the
+// invariants RunSuite's normalisation and Compare's map rely on.
+func TestSuiteShape(t *testing.T) {
+	suite := Suite()
+	if len(suite) == 0 || suite[0].Name != "calib" {
+		t.Fatal("suite must lead with the calibration case")
+	}
+	seen := map[string]bool{}
+	for _, s := range suite {
+		if seen[s.Name] {
+			t.Errorf("duplicate case name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.bench == nil {
+			t.Errorf("case %q has no bench function", s.Name)
+		}
+	}
+	for _, name := range []string{"wake", "fig2", "fig3t", "fig5", "abl-int"} {
+		if !seen[name] {
+			t.Errorf("suite is missing the %q case", name)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/eventq"
 	"repro/internal/task"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -26,8 +27,10 @@ type Core struct {
 	stintStart int64
 	// sliceEnd is when the current task's CFS timeslice expires.
 	sliceEnd int64
-	// gen invalidates stale stop events: every (re)schedule bumps it.
-	gen uint64
+	// stopEv is the core's reusable stop event. Re-arming moves it inside
+	// the event queue; disarming removes it, so at most one stop event per
+	// core is ever pending and stale stops cannot fire.
+	stopEv *eventq.Event
 	// needResched forces the next scheduleStop to fire immediately
 	// (wakeup preemption, release of a running waiter).
 	needResched bool
@@ -302,21 +305,19 @@ func (c *Core) scheduleStop() {
 		}
 	}
 	if stop == never {
-		c.gen++ // invalidate any previously armed event
+		c.m.events.Remove(c.stopEv) // disarm any previously armed stop
 		return
 	}
 	c.armStop(stop)
 }
 
-// armStop schedules the stop event with a fresh generation.
+// armStop (re)schedules the core's stop event, moving it if already
+// pending.
 func (c *Core) armStop(at int64) {
-	c.gen++
-	gen := c.gen
-	c.m.At(at, func(now int64) {
-		if c.gen == gen {
-			c.onStop()
-		}
-	})
+	if at < c.m.now {
+		at = c.m.now
+	}
+	c.m.events.Schedule(c.stopEv, at)
 }
 
 // onStop is the single place tasks make progress through their programs:
@@ -420,12 +421,15 @@ func (c *Core) onStop() {
 // onlyYieldWaitersQueued reports whether every queued task on this core
 // is an unreleased yield-waiter (the symmetric ping-pong case).
 func (c *Core) onlyYieldWaitersQueued() bool {
-	for _, o := range c.sched.Queued() {
+	all := true
+	c.sched.EachQueued(func(o *task.Task) bool {
 		if o.Cur.Kind != task.ExecYieldWait || o.Cur.Released {
+			all = false
 			return false
 		}
-	}
-	return true
+		return true
+	})
+	return all
 }
 
 // advanceCurrent moves the running task to its next program action.
@@ -462,7 +466,7 @@ func (c *Core) stopCurrent() {
 	}
 	c.m.settleShared(c)
 	c.cur = nil
-	c.gen++
+	c.m.events.Remove(c.stopEv)
 	c.needResched = false
 	c.m.rearmShared(c)
 }

@@ -132,12 +132,20 @@ type Machine struct {
 	placer   Placer
 	idleFns  []func(c *Core)
 	doneFns  []func(t *task.Task)
+	moveFns  []func(t *task.Task, from, to int)
 	running  bool
 	stopped  bool
 	nextTask int
+	live     int
 	tracer   trace.Tracer
 	metrics  *metrics.Registry
 	traceSeq uint64
+	// sleepTimers holds one reusable wake event per task (indexed by
+	// task ID, grown on demand): timed sleeps and poll-wait backoffs are
+	// the highest-churn timers in the simulator, and a task has at most
+	// one outstanding sleep at a time, so each task's timer and callback
+	// closure are allocated exactly once.
+	sleepTimers []*eventq.Event
 }
 
 // New builds a machine over the topology. The scheduler factory in cfg is
@@ -162,6 +170,10 @@ func New(tp *topo.Topology, cfg Config) *Machine {
 		c := &Core{id: i, info: &tp.Cores[i], m: m, memDomain: tp.MemDomainOf(i)}
 		c.sched = cfg.NewScheduler(i)
 		c.sched.Attach(m, i)
+		// The stop event is the single hottest timer: it is re-armed on
+		// every dispatch, slice boundary and wait check, so each core owns
+		// one reusable event and reschedules it in place.
+		c.stopEv = eventq.NewEvent(func(now int64) { c.onStop() })
 		m.Cores = append(m.Cores, c)
 	}
 	m.placer = leastLoadedPlacer{}
@@ -208,7 +220,17 @@ func (m *Machine) At(at int64, fn func(now int64)) *eventq.Event {
 	if at < m.now {
 		at = m.now
 	}
-	return m.events.Push(eventq.Time(at), func(now eventq.Time) { fn(int64(now)) })
+	return m.events.Push(at, fn)
+}
+
+// atPooled schedules a fire-and-forget callback whose handle is
+// discarded; the event struct comes from (and returns to) the queue's
+// free list, so steady-state timer churn allocates only fn's closure.
+func (m *Machine) atPooled(at int64, fn func(now int64)) {
+	if at < m.now {
+		at = m.now
+	}
+	m.events.PushPooled(at, fn)
 }
 
 // After schedules fn to run d from now.
@@ -218,6 +240,57 @@ func (m *Machine) After(d time.Duration, fn func(now int64)) *eventq.Event {
 
 // Cancel removes a pending event scheduled with At/After.
 func (m *Machine) Cancel(e *eventq.Event) { m.events.Remove(e) }
+
+// Timer is a reusable scheduled callback: the event and its closure are
+// allocated once by NewTimer, and Schedule moves it inside the event
+// queue without allocating. Periodic actors (balancer wakes, scheduler
+// ticks) should prefer a Timer over repeated At calls.
+type Timer struct {
+	m  *Machine
+	ev *eventq.Event
+}
+
+// NewTimer creates an unscheduled reusable timer.
+func (m *Machine) NewTimer(fn func(now int64)) *Timer {
+	return &Timer{m: m, ev: eventq.NewEvent(fn)}
+}
+
+// Schedule (re)schedules the timer at absolute time at (clamped to now).
+// If the timer is already pending it is moved, not duplicated.
+func (t *Timer) Schedule(at int64) {
+	if at < t.m.now {
+		at = t.m.now
+	}
+	t.m.events.Schedule(t.ev, at)
+}
+
+// ScheduleAfter schedules the timer d from now.
+func (t *Timer) ScheduleAfter(d time.Duration) { t.Schedule(t.m.now + int64(d)) }
+
+// Stop cancels the timer if pending.
+func (t *Timer) Stop() { t.m.events.Remove(t.ev) }
+
+// Pending reports whether the timer is scheduled.
+func (t *Timer) Pending() bool { return t.ev.Queued() }
+
+// OnCoreChange registers a hook invoked whenever a task's core
+// assignment changes: on first placement (from = -1) and on every
+// migration. Balancers that maintain per-core membership lists (package
+// speedbal) keep them current through this hook instead of rescanning
+// all tasks.
+func (m *Machine) OnCoreChange(fn func(t *task.Task, from, to int)) {
+	m.moveFns = append(m.moveFns, fn)
+}
+
+// LiveTasks returns the number of tasks created and not yet exited. A
+// machine with zero live tasks has drained its workload: no running
+// program remains to spawn more.
+func (m *Machine) LiveTasks() int { return m.live }
+
+// PendingEvents returns the number of scheduled events — a liveness
+// metric: after a run drains, self-rescheduling actors are the only
+// thing keeping it non-zero.
+func (m *Machine) PendingEvents() int { return m.events.Len() }
 
 // AddActor registers an actor; its Start runs when the event loop begins
 // (or immediately if the loop is already running).
@@ -252,6 +325,7 @@ func (m *Machine) NewTask(name string, prog task.Program) *task.Task {
 	}
 	t.Sched.Weight = task.NiceWeight(0)
 	m.nextTask++
+	m.live++
 	m.tasks = append(m.tasks, t)
 	return t
 }
@@ -283,6 +357,9 @@ func (m *Machine) StartOn(t *task.Task, core int) {
 	}
 	if m.tracer != nil {
 		m.Emit(trace.Event{Kind: trace.KindForkPlace, Core: core, Task: t.ID, TaskName: t.Name, Dst: core})
+	}
+	for _, fn := range m.moveFns {
+		fn(t, -1, core)
 	}
 	m.advance(t) // fetch the first action
 	if t.State == task.Runnable {
@@ -421,6 +498,9 @@ func (m *Machine) NoteMigration(t *task.Task, dst int, label string) {
 		m.metrics.Counter("migrations." + label).Inc()
 	}
 	t.CoreID = dst
+	for _, fn := range m.moveFns {
+		fn(t, src, dst)
+	}
 }
 
 // advance drives the task's program forward until it yields an action
@@ -480,14 +560,28 @@ func (m *Machine) advance(t *task.Task) {
 }
 
 // sleepUntil takes a runnable/running task off its queue for a timed
-// sleep. The caller has already set t.Cur.
+// sleep. The caller has already set t.Cur. Each task reuses one wake
+// timer: a sleeping task can only sleep again after its timer has fired
+// (nothing else wakes a timed sleeper), so one outstanding event per
+// task suffices and the steady-state path allocates nothing.
 func (m *Machine) sleepUntil(t *task.Task, wakeAt int64) {
 	m.offQueue(t, task.Sleeping)
-	m.At(wakeAt, func(now int64) {
-		if t.State == task.Sleeping {
-			m.wake(t)
-		}
-	})
+	if wakeAt < m.now {
+		wakeAt = m.now
+	}
+	for len(m.sleepTimers) <= t.ID {
+		m.sleepTimers = append(m.sleepTimers, nil)
+	}
+	ev := m.sleepTimers[t.ID]
+	if ev == nil {
+		ev = eventq.NewEvent(func(now int64) {
+			if t.State == task.Sleeping {
+				m.wake(t)
+			}
+		})
+		m.sleepTimers[t.ID] = ev
+	}
+	m.events.Schedule(ev, wakeAt)
 }
 
 // block takes a task off its queue until a Release.
@@ -500,6 +594,7 @@ func (m *Machine) exit(t *task.Task) {
 	t.Cur = task.Exec{Kind: task.ExecExited}
 	m.offQueue(t, task.Done)
 	t.FinishedAt = m.now
+	m.live--
 	for _, fn := range m.doneFns {
 		fn(t)
 	}
@@ -584,15 +679,18 @@ func (m *Machine) Run(until int64) int64 {
 	}
 	for !m.stopped {
 		e := m.events.Peek()
-		if e == nil || int64(e.At) > until {
+		if e == nil || e.At > until {
 			break
 		}
 		m.events.Pop()
-		if int64(e.At) > m.now {
-			m.now = int64(e.At)
+		if e.At > m.now {
+			m.now = e.At
 		}
 		m.Stats.Events++
 		e.Fire(e.At)
+		// Pooled fire-and-forget events go back to the free list; Release
+		// is a no-op for caller-owned or re-scheduled events.
+		m.events.Release(e)
 	}
 	if m.now < until && !m.stopped {
 		m.now = until

@@ -51,4 +51,8 @@ type Scheduler interface {
 	// candidates a balancer may migrate. The returned slice is owned by
 	// the caller; order is deterministic (by vruntime, then ID).
 	Queued() []*task.Task
+	// EachQueued visits the same tasks as Queued, in the same
+	// deterministic order, without allocating. fn returning false stops
+	// the walk. The policy's queue must not be mutated during the walk.
+	EachQueued(fn func(t *task.Task) bool)
 }

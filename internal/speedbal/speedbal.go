@@ -171,10 +171,29 @@ type Balancer struct {
 	lastMigration []int64
 	// lastExec[t] is each thread's exec-time reading at its core's last
 	// sample; lastWork[t] the work-counter reading (MeasureWorkRate).
+	// Entries are purged when the thread exits so churny workloads
+	// (rescan groups, make -j competitors) do not grow them unboundedly.
 	lastExec map[*task.Task]time.Duration
 	lastWork map[*task.Task]float64
-	// managedSet indexes managed for the dynamic-parallelism rescan.
-	managedSet map[*task.Task]bool
+	// managedSet maps each managed thread to its rank (index in managed);
+	// the rank orders the per-core membership lists.
+	managedSet map[*task.Task]int
+	// members[j] holds the live managed threads currently on managed core
+	// index j, in rank order — the same threads, in the same order, that a
+	// scan of managed filtered by CoreID would yield. Maintained through
+	// the machine's core-change and task-done hooks so sample/balance do
+	// O(threads-on-core) work instead of O(all threads).
+	members [][]*task.Task
+	// coreIdx maps a managed core's ID to its index j in cores.
+	coreIdx map[int]int
+	// liveManaged counts managed threads not yet Done (O(1) allDone).
+	liveManaged int
+	// scanned is the rescan cursor into Machine.Tasks(): tasks are
+	// append-only and their Group is fixed at creation, so each rescan
+	// only needs to look at tasks created since the previous one.
+	scanned int
+	// wakeTimers[j] is core index j's reusable balancer-wake timer.
+	wakeTimers []*sim.Timer
 
 	// Migrations counts pulls performed, for reporting.
 	Migrations int
@@ -206,7 +225,7 @@ func New(cfg Config) *Balancer {
 		cfg:        cfg,
 		lastExec:   make(map[*task.Task]time.Duration),
 		lastWork:   make(map[*task.Task]float64),
-		managedSet: make(map[*task.Task]bool),
+		managedSet: make(map[*task.Task]int),
 	}
 }
 
@@ -230,12 +249,29 @@ func (b *Balancer) Manage(m *sim.Machine, threads []*task.Task, cores cpuset.Set
 		cores = m.Topo.AllCores()
 	}
 	for _, t := range threads {
-		if !b.managedSet[t] {
-			b.managedSet[t] = true
-			b.managed = append(b.managed, t)
+		if _, ok := b.managedSet[t]; !ok {
+			b.addManaged(t)
 		}
 	}
 	b.cores = cores.Cores()
+}
+
+// addManaged appends a thread to the managed set at the next rank and,
+// once the balancer has started, threads it into the membership lists.
+func (b *Balancer) addManaged(t *task.Task) {
+	b.managedSet[t] = len(b.managed)
+	b.managed = append(b.managed, t)
+	if b.members == nil {
+		return // Start will build the lists from managed
+	}
+	if t.State == task.Done {
+		return
+	}
+	b.liveManaged++
+	if j, ok := b.coreIdx[t.CoreID]; ok {
+		// The newest rank sorts last, so this is an append.
+		b.members[j] = append(b.members[j], t)
+	}
 }
 
 // Start implements sim.Actor: one balancer thread per managed core.
@@ -253,10 +289,84 @@ func (b *Balancer) Start(m *sim.Machine) {
 	for j := range b.speeds {
 		b.speeds[j] = -1 // unsampled
 	}
+	b.coreIdx = make(map[int]int, n)
+	for j, c := range b.cores {
+		b.coreIdx[c] = j
+	}
+	b.members = make([][]*task.Task, n)
+	for _, t := range b.managed {
+		if t.State == task.Done {
+			continue
+		}
+		b.liveManaged++
+		if j, ok := b.coreIdx[t.CoreID]; ok {
+			b.members[j] = append(b.members[j], t)
+		}
+	}
+	m.OnCoreChange(b.noteMove)
+	m.OnTaskDone(b.noteDone)
+	b.wakeTimers = make([]*sim.Timer, n)
 	for j := range b.cores {
 		j := j
+		b.wakeTimers[j] = m.NewTimer(func(now int64) { b.wake(j, now) })
 		delay := b.cfg.StartupDelay + b.cfg.Interval
-		b.m.At(m.Now()+int64(delay)+b.jitter(), func(now int64) { b.wake(j, now) })
+		b.wakeTimers[j].Schedule(m.Now() + int64(delay) + b.jitter())
+	}
+}
+
+// noteMove keeps the membership lists consistent with t.CoreID: the
+// machine invokes it on first placement and on every migration,
+// whichever component moved the task.
+func (b *Balancer) noteMove(t *task.Task, from, to int) {
+	rank, ok := b.managedSet[t]
+	if !ok || t.State == task.Done {
+		return
+	}
+	if j, ok := b.coreIdx[from]; ok {
+		b.removeMember(j, t)
+	}
+	if j, ok := b.coreIdx[to]; ok {
+		b.insertMember(j, t, rank)
+	}
+}
+
+// noteDone drops an exited managed thread from its membership list and
+// purges its speed-accounting map entries, keeping both bounded across
+// churny workloads.
+func (b *Balancer) noteDone(t *task.Task) {
+	if _, ok := b.managedSet[t]; !ok {
+		return
+	}
+	if j, ok := b.coreIdx[t.CoreID]; ok {
+		b.removeMember(j, t)
+	}
+	delete(b.lastExec, t)
+	delete(b.lastWork, t)
+	b.liveManaged--
+}
+
+// insertMember inserts t into members[j] at its rank position, so the
+// list stays in managed order — the iteration order sample and
+// pickVictim depend on for bit-identical results.
+func (b *Balancer) insertMember(j int, t *task.Task, rank int) {
+	l := b.members[j]
+	i := sort.Search(len(l), func(i int) bool { return b.managedSet[l[i]] > rank })
+	l = append(l, nil)
+	copy(l[i+1:], l[i:])
+	l[i] = t
+	b.members[j] = l
+}
+
+// removeMember deletes t from members[j] if present.
+func (b *Balancer) removeMember(j int, t *task.Task) {
+	l := b.members[j]
+	for i, o := range l {
+		if o == t {
+			copy(l[i:], l[i+1:])
+			l[len(l)-1] = nil
+			b.members[j] = l[:len(l)-1]
+			return
+		}
 	}
 }
 
@@ -282,27 +392,39 @@ func (b *Balancer) wake(j int, now int64) {
 		// A dynamic group may grow again; a fixed one is finished.
 		return
 	}
+	if b.cfg.RescanGroup != "" && b.m.LiveTasks() == 0 {
+		// Dynamic group, machine drained: with no live task left to
+		// spawn new group members, rescanning forever would keep the
+		// event queue busy after the workload has exited.
+		return
+	}
 	b.sample(j, now)
 	b.balance(j, now)
-	b.m.At(now+int64(b.cfg.Interval)+b.jitter(), func(n int64) { b.wake(j, n) })
+	b.wakeTimers[j].Schedule(now + int64(b.cfg.Interval) + b.jitter())
 }
 
 // rescan adopts newly appeared tasks of the managed group — the §5.2
 // dynamic-parallelism extension (polling /proc for new PIDs). Adopted
 // threads are pinned to their current core so the Linux balancer stops
-// moving them; speed balancing takes over.
+// moving them; speed balancing takes over. Tasks are created in order
+// and never change group, so only those that appeared since the last
+// rescan need looking at.
 func (b *Balancer) rescan(now int64) {
-	for _, t := range b.m.Tasks() {
-		if t.Group != b.cfg.RescanGroup || b.managedSet[t] || t.State == task.Done {
+	tasks := b.m.Tasks()
+	for _, t := range tasks[b.scanned:] {
+		if t.Group != b.cfg.RescanGroup || t.State == task.Done {
 			continue
 		}
-		b.managedSet[t] = true
-		b.managed = append(b.managed, t)
+		if _, ok := b.managedSet[t]; ok {
+			continue
+		}
+		b.addManaged(t)
 		b.Adopted++
 		if t.CoreID >= 0 {
 			t.Affinity = cpuset.Of(t.CoreID)
 		}
 	}
+	b.scanned = len(tasks)
 }
 
 // allDone reports whether every managed thread has exited. With a
@@ -312,12 +434,7 @@ func (b *Balancer) allDone() bool {
 	if len(b.managed) == 0 {
 		return b.cfg.RescanGroup == ""
 	}
-	for _, t := range b.managed {
-		if t.State != task.Done {
-			return false
-		}
-	}
-	return true
+	return b.liveManaged == 0
 }
 
 // sample computes the local core speed: the average, over the managed
@@ -327,18 +444,17 @@ func (b *Balancer) sample(j int, now int64) {
 	coreID := b.cores[j]
 	c := b.m.Cores[coreID]
 	c.Sync()
-	last := b.sampled[j]
-	b.sampled[j] = now
-	wall := time.Duration(now - last)
+	wall := time.Duration(now - b.sampled[j])
 	if wall <= 0 {
+		// A zero-length window carries no information: leave the window
+		// open (do not consume it) so the next wake samples across the
+		// whole elapsed interval instead of publishing a stale speed.
 		return
 	}
+	b.sampled[j] = now
 	var sum float64
 	var cnt int
-	for _, t := range b.managed {
-		if t.State == task.Done || t.CoreID != coreID {
-			continue
-		}
+	for _, t := range b.members[j] {
 		var s float64
 		if b.cfg.Measure == MeasureWorkRate {
 			// Performance-counter extension (§7): retired work per
@@ -577,23 +693,14 @@ func (b *Balancer) traceSkip(local, remote int, reason string, sk, sg float64) {
 
 // countManaged returns the number of live managed threads on the core.
 func (b *Balancer) countManaged(core int) int {
-	n := 0
-	for _, t := range b.managed {
-		if t.State != task.Done && t.CoreID == core {
-			n++
-		}
-	}
-	return n
+	return len(b.members[b.coreIdx[core]])
 }
 
 // pickVictim chooses which managed thread to pull off the remote core:
 // the least-migrated by default.
 func (b *Balancer) pickVictim(remote, local int) *task.Task {
 	var cands []*task.Task
-	for _, t := range b.managed {
-		if t.State == task.Done || t.CoreID != remote {
-			continue
-		}
+	for _, t := range b.members[b.coreIdx[remote]] {
 		if t.State == task.Sleeping || t.State == task.Blocked {
 			// Re-pinning a sleeper is possible but pointless: its
 			// speed contribution is already reflected in co-runners.

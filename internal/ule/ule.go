@@ -51,6 +51,9 @@ type Balancer struct {
 	m   *sim.Machine
 	rng *xrand.RNG
 
+	// pushTimer is the reusable push-balancer timer.
+	pushTimer *sim.Timer
+
 	// Pushes and Pulls count balancing actions.
 	Pushes, Pulls int
 }
@@ -78,14 +81,11 @@ func (b *Balancer) Start(m *sim.Machine) {
 	b.m = m
 	b.rng = m.RNG()
 	m.OnIdle(b.idled)
-	b.schedulePush(m.Now() + int64(b.cfg.PushInterval))
-}
-
-func (b *Balancer) schedulePush(at int64) {
-	b.m.At(at, func(now int64) {
+	b.pushTimer = m.NewTimer(func(now int64) {
 		b.push(now)
-		b.schedulePush(now + int64(b.cfg.PushInterval))
+		b.pushTimer.Schedule(now + int64(b.cfg.PushInterval))
 	})
+	b.pushTimer.Schedule(m.Now() + int64(b.cfg.PushInterval))
 }
 
 // push moves one thread from the most to the least loaded queue when the
@@ -151,10 +151,13 @@ func (b *Balancer) traceSkip(core int, label, reason string) {
 
 // steal picks a migratable queued thread from src that may run on dst.
 func (b *Balancer) steal(src *sim.Core, dst int) *task.Task {
-	for _, t := range src.Queued() {
+	var pick *task.Task
+	src.Scheduler().EachQueued(func(t *task.Task) bool {
 		if t.Affinity.Has(dst) {
-			return t
+			pick = t
+			return false
 		}
-	}
-	return nil
+		return true
+	})
+	return pick
 }
