@@ -33,6 +33,11 @@
 //	             every -parallel level
 //	-metrics     collect and print scheduler metrics (migration counts,
 //	             speed-sample and barrier-wait histograms, busy fractions)
+//	-perturb L   inject deterministic faults into every run: comma-
+//	             separated families from noise, kthread (schedulable
+//	             noise), hotplug, freq, storm, or all (see
+//	             internal/perturb); schedules derive from -seed, so
+//	             perturbed tables stay bit-identical at any -parallel
 //	-q           suppress progress logging
 package main
 
@@ -50,6 +55,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/metrics"
 	"repro/internal/perfbench"
+	"repro/internal/perturb"
 )
 
 func main() {
@@ -71,7 +77,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lbos list | lbos run [-reps N] [-scale K] [-seed S] [-parallel P] [-failfast] [-csv DIR] [-trace FILE] [-metrics] [-q] <id>...|all | lbos bench [-out FILE] [-baseline FILE] [-tol F] [-q]")
+	fmt.Fprintln(os.Stderr, "usage: lbos list | lbos run [-reps N] [-scale K] [-seed S] [-parallel P] [-failfast] [-csv DIR] [-trace FILE] [-metrics] [-perturb LIST] [-q] <id>...|all | lbos bench [-out FILE] [-baseline FILE] [-tol F] [-q]")
 }
 
 // bench runs the perfbench suite, writes BENCH_<n>.json and gates the
@@ -94,8 +100,16 @@ func bench(args []string) {
 	}
 	report := perfbench.RunSuite(log)
 
+	// An explicit -baseline '' disables the gate (e.g. when refreshing
+	// the committed baseline); leaving the flag unset auto-detects it.
+	baselineSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "baseline" {
+			baselineSet = true
+		}
+	})
 	basePath := *baseline
-	if basePath == "" {
+	if !baselineSet {
 		if _, err := os.Stat("BENCH_baseline.json"); err == nil {
 			basePath = "BENCH_baseline.json"
 		}
@@ -175,8 +189,15 @@ func run(args []string) {
 	csvDir := fs.String("csv", "", "write tables as CSV under this directory")
 	traceFile := fs.String("trace", "", "write a Chrome trace-event JSON of all runs to this file")
 	withMetrics := fs.Bool("metrics", false, "collect and print scheduler metrics per experiment")
+	perturbSpec := fs.String("perturb", "", "inject faults: comma-separated from noise,kthread,hotplug,freq,storm,all")
 	quiet := fs.Bool("q", false, "suppress progress logging")
 	fs.Parse(args)
+
+	pcfg, err := perturb.Parse(*perturbSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	ids := fs.Args()
 	if len(ids) == 0 {
@@ -200,6 +221,7 @@ func run(args []string) {
 	ctx := &exp.Context{
 		Reps: *reps, Scale: *scale, Seed: *seed,
 		Parallelism: *parallel, FailFast: *failfast,
+		Perturb: pcfg,
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)

@@ -1,0 +1,122 @@
+package lbos_test
+
+// Documentation health checks, run in CI alongside the code:
+//
+//   - every relative link in every tracked markdown file must resolve
+//     to an existing file or directory (external http(s) links are not
+//     fetched — the check is offline and deterministic),
+//   - every internal package must carry a package doc comment, so
+//     `go doc repro/internal/<pkg>` always has something to say.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches [text](target) links, excluding images' preceding "!"
+// handling — images use the same resolution rule anyway.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func markdownFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found")
+	}
+	return files
+}
+
+func TestMarkdownLinksResolve(t *testing.T) {
+	for _, f := range markdownFiles(t) {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inFence := false
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if inFence {
+				continue
+			}
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+					strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+					continue
+				}
+				// Strip anchors and line fragments.
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+				}
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(f), target)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: broken link %q (resolved %q)", f, m[1], resolved)
+				}
+			}
+		}
+	}
+}
+
+func TestInternalPackagesHaveDocComments(t *testing.T) {
+	dirs, err := filepath.Glob("internal/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs = append(dirs, "internal/analysis/analysistest")
+	for _, dir := range dirs {
+		info, err := os.Stat(dir)
+		if err != nil || !info.IsDir() {
+			continue
+		}
+		pkg := filepath.Base(dir)
+		goFiles, _ := filepath.Glob(filepath.Join(dir, "*.go"))
+		found := false
+		hasCode := false
+		for _, gf := range goFiles {
+			if strings.HasSuffix(gf, "_test.go") {
+				continue
+			}
+			hasCode = true
+			data, err := os.ReadFile(gf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.Contains(string(data), "// Package "+pkg+" ") ||
+				strings.Contains(string(data), "// Package "+pkg+"\n") {
+				found = true
+				break
+			}
+		}
+		if hasCode && !found {
+			t.Errorf("internal package %q has no package doc comment (want a `// Package %s ...` block)", dir, pkg)
+		}
+	}
+}

@@ -178,6 +178,11 @@ func (q *Queue) stealRound() bool {
 		if o == q || o.round > q.round {
 			continue
 		}
+		if !q.g.m.Cores[o.core].Online() {
+			// Hot-unplugged queues are drained empty; skipping keeps the
+			// scan honest if one is mid-drain.
+			continue
+		}
 		for _, t := range o.active {
 			if !t.Affinity.Has(q.core) {
 				continue

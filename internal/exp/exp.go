@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/perturb"
 )
 
 // Context carries run-wide settings into experiments.
@@ -52,6 +53,12 @@ type Context struct {
 	// Metrics, when set, aggregates every Submit/Repeat cell's metrics
 	// registry, merged in submission order.
 	Metrics *metrics.Aggregate
+	// Perturb, when active, composes deterministic fault injection
+	// (kernel noise, hotplug, frequency drift, interrupt storms) onto
+	// every Submit/Repeat cell that does not set its own perturbation.
+	// The injector draws from each cell's seeded RNG, so perturbed
+	// tables remain bit-identical at every Parallelism.
+	Perturb perturb.Config
 
 	// logMu serialises Logf writes: cells complete on worker
 	// goroutines, and experiments log from result callbacks while the

@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"repro/internal/cpuset"
+	"repro/internal/npb"
+	"repro/internal/perturb"
+	"repro/internal/spmd"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// Perturbed experiment drivers: canned fault-injection scenarios built
+// on internal/perturb. Every other experiment can be perturbed too via
+// `lbos run -perturb <families> <id>`; the drivers here pin a profile so
+// the headline results regenerate without flags.
+
+func init() {
+	Register(&Experiment{
+		ID:       "noise-omps",
+		Title:    "OpenMP class S under injected kernel noise (ompS with the missing ingredient)",
+		PaperRef: "§6.4",
+		Expect: "Paper: ~45% improvement for class S with polling barriers at 16 " +
+			"cores, attributed to OS noise the load balancer cannot see. With " +
+			"kernel-noise injection the simulator reproduces the shape: SB_INF " +
+			"recovers most of what LB_DEF loses to noise-convoyed barriers.",
+		Run: func(ctx *Context) []*Table {
+			old := ctx.Perturb
+			defer func() { ctx.Perturb = old }()
+			if !ctx.Perturb.Active() {
+				ctx.Perturb = perturb.Config{Noise: perturb.KthreadNoise()}
+			}
+			return runOmpS(ctx)
+		},
+	})
+	Register(&Experiment{
+		ID:       "hotplug-churn",
+		Title:    "Balancer robustness under core hot-unplug/replug churn",
+		PaperRef: "robustness (beyond paper)",
+		Expect: "Not in the paper: every balancer must survive cores vanishing " +
+			"and returning mid-run — no lost tasks, bounded slowdown. SPEED " +
+			"should degrade gracefully: its per-core speed slots go stale " +
+			"across unplugs and re-learn after replug.",
+		Run: runHotplugChurn,
+	})
+}
+
+// runHotplugChurn runs a barrier-heavy workload on Tigerton while one
+// core at a time is repeatedly unplugged and replugged, across all five
+// strategies. The interesting output is that the runs finish at all
+// (drain + re-place correctness) and how much each strategy pays.
+func runHotplugChurn(ctx *Context) []*Table {
+	t := &Table{
+		Title: "cg.B, 16 threads / 16 cores, one core unplugged every ~400 ms for ~150 ms",
+		Columns: []string{"strategy", "elapsed s", "speedup",
+			"app migs", "hotplug migs", "var%"},
+	}
+	pcfg := perturb.Config{Hotplug: perturb.DefaultHotplug()}
+	rn := NewRunner(ctx)
+	config := 7000
+	for _, strat := range []Strategy{StratPinned, StratLoad, StratSpeed, StratDWRR, StratULE} {
+		strat := strat
+		el, sp := &stats.Sample{}, &stats.Sample{}
+		var migs, hotMigs int
+		spec := ScaleSpec(ctx, npb.CG.Spec(16, spmd.UPC(), cpuset.All(16)))
+		rn.Repeat(config, RunOpts{
+			Topo: topo.Tigerton, Strategy: strat, Spec: spec, Perturb: pcfg,
+		}, func(_ int, r RunResult) {
+			el.AddDuration(r.Elapsed)
+			sp.Add(r.Speedup)
+			migs += r.AppMigrations
+			hotMigs += r.Stats.Migrations["hotplug"]
+		})
+		config++
+		rn.Then(func() {
+			t.AddRow(string(strat), el.Mean(), sp.Mean(),
+				migs/ctx.Reps, hotMigs/ctx.Reps, el.VariationPct())
+			ctx.Logf("hotplug-churn: %s done", strat)
+		})
+	}
+	rn.Wait()
+	t.Note("hotplug migs counts tasks drained off an unplugging core (plus wakes redirected away from it); PINNED tasks get their affinity widened by the fallback path when their core vanishes")
+	return []*Table{t}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dwrr"
 	"repro/internal/linuxlb"
 	"repro/internal/metrics"
+	"repro/internal/perturb"
 	"repro/internal/sim"
 	"repro/internal/speedbal"
 	"repro/internal/spmd"
@@ -54,6 +55,10 @@ type RunOpts struct {
 	// Setup installs competing workload on the machine before the app
 	// starts (cpu-hog, make -j). May be nil.
 	Setup func(m *sim.Machine)
+	// Perturb, when active, adds a deterministic fault injector (kernel
+	// noise, hotplug, frequency drift, interrupt storms) to the run. The
+	// Runner copies Context.Perturb here for cells that leave it inert.
+	Perturb perturb.Config
 	// Limit caps the simulated time (default 2000 s).
 	Limit time.Duration
 	// Tracer, when non-nil, receives the run's scheduling events. The
@@ -112,6 +117,12 @@ func Run(o RunOpts) RunResult {
 		// DWRR balances via round stealing inside the scheduler.
 	default:
 		panic(fmt.Sprintf("exp: unknown strategy %q", o.Strategy))
+	}
+
+	if o.Perturb.Active() {
+		// Added after the balancer so the RNG split order (balancer,
+		// injector, app) is fixed regardless of which families are on.
+		m.AddActor(perturb.New(o.Perturb))
 	}
 
 	if o.Setup != nil {

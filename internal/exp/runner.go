@@ -89,6 +89,11 @@ func (r *Runner) SubmitFunc(label string, run func() RunResult, fn func(RunResul
 // trace ring and metrics registry when the context collects them.
 func (r *Runner) submitRun(label string, o RunOpts, fn func(RunResult)) {
 	it := runnerItem{label: label, fn: fn}
+	if r.ctx.Perturb.Active() && !o.Perturb.Active() {
+		// -perturb composes onto any experiment; cells that configure
+		// their own perturbation (noise-* drivers) keep it.
+		o.Perturb = r.ctx.Perturb
+	}
 	if r.ctx.Trace != nil {
 		it.ring = r.ctx.Trace.newRing()
 		o.Tracer = it.ring

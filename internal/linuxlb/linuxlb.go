@@ -6,6 +6,13 @@
 //
 //   - Load is queue length (weighted by nice): threads that sched_yield
 //     still count; threads that sleep do not.
+//   - Busy-interval balancing compares decayed per-tick load averages
+//     (rq->cpu_load[], the kernel's source_load/target_load pair), so a
+//     high-priority daemon that wakes for a few hundred µs at a time
+//     still raises its core's apparent load for many ticks after — the
+//     mechanism by which the balancer chases short-lived kernel
+//     activity (§6.4). New-idle balancing uses instantaneous load
+//     (load index 0), as SD_BALANCE_NEWIDLE does.
 //   - Balancing proceeds up a domain hierarchy, each level with its own
 //     busy/idle intervals and imbalance percentage.
 //   - Imbalance uses integer task-count arithmetic: a 3-vs-2 (or 2-vs-1)
@@ -86,6 +93,11 @@ type coreState struct {
 	// staleLoad is the queue length snapshot from the last tick, used
 	// by fork placement.
 	staleLoad int64
+	// cpuLoad is the decayed per-tick load average (rq->cpu_load[] at
+	// the busy index): cpuLoad = (3*cpuLoad + instantaneous)/4 each
+	// tick. Busy-interval balancing reads load through this average so
+	// short bursts of high-weight activity stay visible between ticks.
+	cpuLoad int64
 	// levels[li] is the precomputed sched-group structure this core
 	// compares when balancing at domain level li. The topology is static,
 	// so the groups, their core lists and the level span are derived once
@@ -183,7 +195,17 @@ func (b *Balancer) buildLevel(id, li int) levelGroups {
 // due domain-level balancing.
 func (b *Balancer) tick(c *sim.Core, now int64) {
 	cs := b.cores[c.ID()]
+	if !c.Online() {
+		// A hot-unplugged CPU takes no timer interrupts: skip the
+		// balancing pass (and zero the placement snapshot so forks do
+		// not clump onto the dead core) but keep the timer alive so the
+		// tick resumes when the core returns.
+		cs.staleLoad = 0
+		cs.cpuLoad = 0
+		return
+	}
 	cs.staleLoad = c.Scheduler().WeightedLoad()
+	cs.cpuLoad = (7*cs.cpuLoad + cs.staleLoad) / 8
 	idle := c.Idle()
 	for li := range b.m.Topo.Levels {
 		if now < cs.nextBalance[li] {
@@ -210,12 +232,23 @@ func (b *Balancer) shouldBalance(c *sim.Core, li int) bool {
 		return true
 	}
 	g := &lg.groups[lg.local]
+	first := -1
 	for _, id := range g.cores {
-		if b.m.Cores[id].Idle() {
+		o := b.m.Cores[id]
+		if !o.Online() {
+			// An offline core neither ticks nor balances; it must not
+			// hold the group's balancing slot or the whole group stops
+			// balancing until the core returns.
+			continue
+		}
+		if first < 0 {
+			first = id
+		}
+		if o.Idle() {
 			return id == c.ID()
 		}
 	}
-	return g.cores[0] == c.ID()
+	return first == c.ID()
 }
 
 // balanceLevel runs one load_balance pass pulling toward core c at
@@ -281,10 +314,42 @@ func (b *Balancer) traceSkip(core int, label, reason string) {
 		Label: label, Reason: reason})
 }
 
-// groupLoad sums the weighted queue loads of the group's cores.
-func (b *Balancer) groupLoad(cores []int) (load int64, ncores int64) {
+// sourceLoad is the kernel's source_load: the decayed load average
+// biased upward by the instantaneous load, so a pull source is never
+// underestimated. New-idle balancing uses load index 0 — instantaneous.
+func (b *Balancer) sourceLoad(id int, newIdle bool) int64 {
+	inst := b.m.Cores[id].Scheduler().WeightedLoad()
+	if newIdle {
+		return inst
+	}
+	if avg := b.cores[id].cpuLoad; avg > inst {
+		return avg
+	}
+	return inst
+}
+
+// targetLoad is the kernel's target_load: biased downward, so the
+// pulling side is never overestimated.
+func (b *Balancer) targetLoad(id int, newIdle bool) int64 {
+	inst := b.m.Cores[id].Scheduler().WeightedLoad()
+	if newIdle {
+		return inst
+	}
+	if avg := b.cores[id].cpuLoad; avg < inst {
+		return avg
+	}
+	return inst
+}
+
+// groupLoad sums the group's core loads: target-biased for the local
+// group, source-biased for remote ones.
+func (b *Balancer) groupLoad(cores []int, local, newIdle bool) (load int64, ncores int64) {
 	for _, id := range cores {
-		load += b.m.Cores[id].Scheduler().WeightedLoad()
+		if local {
+			load += b.targetLoad(id, newIdle)
+		} else {
+			load += b.sourceLoad(id, newIdle)
+		}
 		ncores++
 	}
 	return load, ncores
@@ -301,7 +366,7 @@ func (b *Balancer) imbalance(lg *levelGroups, imbPct int64, newIdle bool) (int64
 	var busiest *groupInfo
 	for gi := range lg.groups {
 		g := &lg.groups[gi]
-		load, n := b.groupLoad(g.cores)
+		load, n := b.groupLoad(g.cores, gi == lg.local, newIdle)
 		totalLoad += load
 		totalN += n
 		if gi == lg.local {
@@ -362,6 +427,9 @@ func (b *Balancer) findBusiestQueue(c *sim.Core, group *groupInfo, newIdle bool)
 			continue
 		}
 		o := b.m.Cores[id]
+		if !o.Online() {
+			continue
+		}
 		load := o.Scheduler().WeightedLoad()
 		if newIdle && o.NrRunnable() < 2 {
 			continue
@@ -422,12 +490,15 @@ func (b *Balancer) activeBalance(busiest *sim.Core, li int) {
 			continue
 		}
 		o := b.m.Cores[id]
+		if !o.Online() {
+			continue
+		}
 		load := o.Scheduler().WeightedLoad()
 		if target == nil || load < minLoad {
 			target, minLoad = o, load
 		}
 	}
-	if target == nil || minLoad+2*nice0Weight > busiest.Scheduler().WeightedLoad() {
+	if target == nil || minLoad+2*nice0Weight > b.sourceLoad(busiest.ID(), false) {
 		return
 	}
 	b.ActivePushes++
@@ -455,12 +526,27 @@ func (b *Balancer) newIdle(c *sim.Core) {
 func (b *Balancer) Place(m *sim.Machine, t *task.Task) int {
 	best, bestLoad := -1, int64(0)
 	for _, c := range m.Cores {
-		if !t.Affinity.Has(c.ID()) {
+		if !c.Online() || !t.Affinity.Has(c.ID()) {
 			continue
 		}
 		l := b.cores[c.ID()].staleLoad
 		if best == -1 || l < bestLoad {
 			best, bestLoad = c.ID(), l
+		}
+	}
+	if best == -1 {
+		// No allowed core is online (a pinned fork racing a hotplug):
+		// widen the mask like the kernel's select_fallback_rq and take
+		// the idlest online core.
+		t.Affinity = m.Topo.AllCores()
+		for _, c := range m.Cores {
+			if !c.Online() {
+				continue
+			}
+			l := b.cores[c.ID()].staleLoad
+			if best == -1 || l < bestLoad {
+				best, bestLoad = c.ID(), l
+			}
 		}
 	}
 	return best

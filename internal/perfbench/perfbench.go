@@ -35,8 +35,10 @@ import (
 	"time"
 
 	"repro/internal/cfs"
+	"repro/internal/cpuset"
 	"repro/internal/exp"
 	"repro/internal/metrics"
+	"repro/internal/perturb"
 	"repro/internal/sim"
 	"repro/internal/speedbal"
 	"repro/internal/spmd"
@@ -123,6 +125,11 @@ func Suite() []Spec {
 			Desc:  "one balance interval of a steady-state speed-balanced app, tracing off",
 			bench: wakeBench,
 		},
+		{
+			Name:  "perturb",
+			Desc:  "the wake scenario with the full fault-injection mix active",
+			bench: perturbBench,
+		},
 		experimentCase("fig2", "round-robin vs load-balanced placement sweep"),
 		experimentCase("fig3t", "speedup of NAS-like benchmarks under the balancers"),
 		experimentCase("fig5", "multiprogrammed speedup"),
@@ -167,6 +174,46 @@ func wakeBench(b *testing.B) int64 {
 	bal := speedbal.New(speedbal.Config{})
 	bal.Launch(m, app)
 	m.RunFor(time.Second) // reach steady state
+	before := m.Stats.Events
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.RunFor(100 * time.Millisecond)
+	}
+	b.StopTimer()
+	return int64(m.Stats.Events - before)
+}
+
+// perturbBench is wakeBench with every fault-injection family active:
+// schedulable kthread noise, hotplug churn, frequency drift and
+// interrupt storms, with periods compressed so each 100 ms op sees
+// events from all four. It pins the injector hot paths — timer-driven
+// steal application, daemon wake/sleep cycling, drain/replug — so a
+// perturbation-layer slowdown lands with a number attached.
+func perturbBench(b *testing.B) int64 {
+	m := sim.New(topo.Tigerton(), sim.Config{Seed: suiteSeed, NewScheduler: cfs.Factory()})
+	noise := perturb.KthreadNoise()
+	noise.Cores = cpuset.Of(0, 2, 5, 9)
+	in := perturb.New(perturb.Config{
+		Noise: noise,
+		Hotplug: perturb.HotplugConfig{Interval: 80 * time.Millisecond,
+			OffTime: 30 * time.Millisecond, Jitter: 0.5, MaxOffline: 1},
+		Freq: perturb.FreqConfig{Interval: 25 * time.Millisecond, Min: 0.6, Max: 1.0,
+			Step: 0.1, Jitter: 0.5},
+		Storm: perturb.StormConfig{Period: 60 * time.Millisecond,
+			Duration: 2 * time.Millisecond, Jitter: 0.5, Steal: 1.0},
+	})
+	m.AddActor(in)
+	app := spmd.Build(m, spmd.Spec{
+		Name:             "perturb",
+		Threads:          32,
+		Iterations:       1 << 30,
+		WorkPerIteration: 3e6,
+		Model:            spmd.UPC(),
+	})
+	bal := speedbal.New(speedbal.Config{})
+	bal.Launch(m, app)
+	m.RunFor(time.Second)
 	before := m.Stats.Events
 	b.ResetTimer()
 	b.ReportAllocs()

@@ -43,9 +43,38 @@ type Core struct {
 	// Topo.MemDomains, -1 when no contention model is configured.
 	memDomain int
 
+	// online reports whether the core participates in scheduling. An
+	// offline core runs nothing and accrues neither busy nor idle time;
+	// enqueueing on it is a bug (the machine panics). Toggled by
+	// Machine.SetCoreOnline.
+	online bool
+	// freq is the core's dynamic frequency factor (1.0 nominal). It
+	// scales work retirement exactly like BaseSpeed but can change at
+	// run time (perturbation layer); exec time still accrues at wall
+	// rate, so a slow core looks fully "fast" to the speed metric —
+	// the paper's §6.6 asymmetry, made time-varying.
+	freq float64
+	// stolen is the fraction of wall time currently stolen from the
+	// running task by kernel-level activity (interrupt storms, kernel
+	// threads). It scales both exec-time accrual and work retirement by
+	// (1-stolen): the victim's measured speed t_exec/t_real drops — the
+	// signal speed balancing reacts to — while the queue length a
+	// load balancer watches is unchanged, exactly the §6.4 noise
+	// asymmetry. Set by Machine.SetCoreStolen.
+	stolen float64
+	// stolenWall integrates the stolen fraction over wall time up to
+	// stolenMark, busy or idle — the core's /proc/stat-style steal+irq
+	// account, which user-level code may read. StolenWall() extends the
+	// integral to the present.
+	stolenWall time.Duration
+	stolenMark int64
+
 	// BusyTime and IdleTime accumulate the core's utilisation.
 	BusyTime time.Duration
 	idleTime time.Duration
+	// StolenTime accumulates the wall time stolen from on-CPU tasks by
+	// the kernel-noise model (a subset of BusyTime).
+	StolenTime time.Duration
 }
 
 // ID returns the core's logical CPU number.
@@ -63,6 +92,25 @@ func (c *Core) Current() *task.Task { return c.cur }
 
 // Idle reports whether the core has no task to run.
 func (c *Core) Idle() bool { return c.cur == nil }
+
+// Online reports whether the core participates in scheduling.
+func (c *Core) Online() bool { return c.online }
+
+// Freq returns the core's dynamic frequency factor (1.0 nominal).
+func (c *Core) Freq() float64 { return c.freq }
+
+// Stolen returns the fraction of wall time currently stolen from the
+// running task by the kernel-noise model.
+func (c *Core) Stolen() float64 { return c.stolen }
+
+// StolenWall returns the total wall time the kernel-noise model has
+// stolen from the core since boot, whether or not a task was running —
+// what /proc/stat's steal+irq columns report on a real machine. A
+// user-level balancer may difference it across a sampling window to
+// estimate how much CPU a newcomer would actually receive.
+func (c *Core) StolenWall() time.Duration {
+	return c.stolenWall + time.Duration(float64(c.m.now-c.stolenMark)*c.stolen)
+}
 
 // NrRunnable returns the run-queue length including the running task —
 // the "load" of Linux-style balancing.
@@ -84,11 +132,13 @@ func (c *Core) IdleTime() time.Duration {
 // core are exact as of Machine.Now.
 func (c *Core) Sync() { c.account() }
 
-// effSpeed returns the work retired per nanosecond when t runs on this
-// core now: base clock × NUMA-locality factor × SMT-contention factor ×
-// memory-bandwidth contention factor.
+// effSpeed returns the work retired per on-CPU nanosecond when t runs
+// on this core now: base clock × dynamic frequency × NUMA-locality
+// factor × SMT-contention factor × memory-bandwidth contention factor.
+// Kernel-noise theft (c.stolen) is applied separately — it reduces the
+// on-CPU time itself, not the retirement rate.
 func (c *Core) effSpeed(t *task.Task) float64 {
-	s := c.info.BaseSpeed
+	s := c.info.BaseSpeed * c.freq
 	if c.m.Topo.RemoteMemoryPenalty > 0 && t.HomeNode >= 0 && t.HomeNode != c.info.Node {
 		s /= 1 + c.m.Topo.RemoteMemoryPenalty*t.MemIntensity
 	}
@@ -134,12 +184,20 @@ func (c *Core) account() {
 	}
 	elapsed := time.Duration(now - c.runStart)
 	c.runStart = now
-	t.ExecTime += elapsed
+	// Kernel noise steals a fraction of the wall time: the task was
+	// on-CPU (and made progress) only for avail of it. The core itself
+	// stays busy for all of elapsed — it was running noise, not idling.
+	avail := elapsed
+	if c.stolen > 0 {
+		avail = time.Duration(float64(elapsed) * (1 - c.stolen))
+		c.StolenTime += elapsed - avail
+	}
+	t.ExecTime += avail
 	t.LastRanAt = now
 	c.BusyTime += elapsed
-	c.sched.AccountExec(t, elapsed)
+	c.sched.AccountExec(t, avail)
 
-	rem := elapsed
+	rem := avail
 	if t.WarmupLeft > 0 {
 		w := t.WarmupLeft
 		if w > rem {
@@ -158,7 +216,7 @@ func (c *Core) account() {
 		t.WorkDone += retired
 	case task.ExecSpin:
 		if t.Cur.SpinLeft >= 0 {
-			t.Cur.SpinLeft -= elapsed
+			t.Cur.SpinLeft -= avail
 			if t.Cur.SpinLeft < 0 {
 				t.Cur.SpinLeft = 0
 			}
@@ -175,7 +233,7 @@ func (c *Core) account() {
 // the new-idle hooks when there is none. Re-entrant calls (from idle
 // hooks that enqueue) are absorbed by the outer loop.
 func (c *Core) dispatch() {
-	if c.inDispatch {
+	if c.inDispatch || !c.online {
 		return
 	}
 	c.inDispatch = true
@@ -268,18 +326,18 @@ func (c *Core) scheduleStop() {
 		if eff := c.effSpeed(t); t.Cur.WorkLeft > 0 {
 			need += int64(math.Ceil(t.Cur.WorkLeft / eff))
 		}
-		stop = now + need
+		stop = c.wallAfter(need)
 	case task.ExecSpin:
 		if t.Cur.Released {
 			stop = now
 		} else if t.Cur.SpinLeft >= 0 {
-			stop = now + int64(t.Cur.SpinLeft) + int64(t.WarmupLeft)
+			stop = c.wallAfter(int64(t.Cur.SpinLeft) + int64(t.WarmupLeft))
 		}
 	case task.ExecYieldWait:
 		if t.Cur.Released {
 			stop = now
 		} else if contended {
-			stop = now + int64(t.Cur.CheckLeft) + int64(t.WarmupLeft)
+			stop = c.wallAfter(int64(t.Cur.CheckLeft) + int64(t.WarmupLeft))
 		} else {
 			// Uncontended yield-waiters spin lazily with no event; an
 			// arriving competitor forces a resched (Machine.enqueue).
@@ -289,7 +347,7 @@ func (c *Core) scheduleStop() {
 		if t.Cur.Released {
 			stop = now
 		} else {
-			stop = now + int64(t.Cur.CheckLeft) + int64(t.WarmupLeft)
+			stop = c.wallAfter(int64(t.Cur.CheckLeft) + int64(t.WarmupLeft))
 		}
 	case task.ExecSleep, task.ExecBlocked:
 		// A completed sleep/block scheduled onto the CPU: finish the
@@ -309,6 +367,21 @@ func (c *Core) scheduleStop() {
 		return
 	}
 	c.armStop(stop)
+}
+
+// wallAfter converts need nanoseconds of on-CPU progress into the
+// absolute wall time at which the progress completes, stretching for
+// stolen time. A fully stolen core (stolen >= 1) never completes on
+// its own — the slice cap keeps its event rate bounded and external
+// events (noise ending) intervene.
+func (c *Core) wallAfter(need int64) int64 {
+	if c.stolen <= 0 {
+		return c.m.now + need
+	}
+	if c.stolen >= 1 {
+		return int64(math.MaxInt64)
+	}
+	return c.m.now + int64(math.Ceil(float64(need)/(1-c.stolen)))
 }
 
 // armStop (re)schedules the core's stop event, moving it if already

@@ -19,6 +19,7 @@ import (
 	"repro/internal/competing"
 	"repro/internal/cpuset"
 	"repro/internal/exp"
+	"repro/internal/perturb"
 	"repro/internal/sim"
 	"repro/internal/spmd"
 	"repro/internal/task"
@@ -117,6 +118,32 @@ func drawOpts(rng *rand.Rand) exp.RunOpts {
 	return o
 }
 
+// drawPerturb builds a random perturbation mix: always hotplug churn
+// (the invariant-threatening family — it moves resident tasks around),
+// plus a coin-flip of each other family.
+func drawPerturb(rng *rand.Rand) perturb.Config {
+	cfg := perturb.Config{
+		Hotplug: perturb.HotplugConfig{
+			Interval:   time.Duration(5+rng.Intn(45)) * time.Millisecond,
+			OffTime:    time.Duration(2+rng.Intn(20)) * time.Millisecond,
+			Jitter:     rng.Float64(),
+			MaxOffline: 1 + rng.Intn(3),
+		},
+	}
+	if rng.Intn(2) == 0 {
+		cfg.Noise = perturb.DefaultNoise()
+		cfg.Noise.Kthread = rng.Intn(2) == 0
+	}
+	if rng.Intn(2) == 0 {
+		cfg.Freq = perturb.DefaultFreq()
+	}
+	if rng.Intn(2) == 0 {
+		cfg.Storm = perturb.DefaultStorm()
+		cfg.Storm.Period = 50 * time.Millisecond
+	}
+	return cfg
+}
+
 // TestInvariantsRandomRuns checks, over random draws:
 //
 //  1. no task's exec time exceeds the real time it existed for,
@@ -174,6 +201,74 @@ func TestInvariantsRandomRuns(t *testing.T) {
 		}
 		if limit := now * int64(len(m.Cores)); int64(busy) > limit {
 			t.Errorf("draw %d (%s on %s): total busy %v exceeds elapsed × %d cores = %v",
+				i, o.Strategy, m.Topo.Name, busy, len(m.Cores), time.Duration(limit))
+		}
+	}
+}
+
+// TestInvariantsUnderPerturbation repeats the physical-invariant checks
+// with fault injection active — hotplug churn always, the other
+// families by coin flip. It additionally checks the hotplug safety
+// properties:
+//
+//  1. no task is lost — every application thread reaches Done even
+//     though its core may have vanished underneath it (the run ending
+//     without hitting the time limit is the machine-level witness; the
+//     per-task states are checked explicitly),
+//  2. unplugged cores come back, and while offline they accrue no busy
+//     time beyond the run's physical budget,
+//  3. the exec ≤ real and Σbusy ≤ elapsed × cores accounting bounds
+//     survive drains, replugs, steals and frequency steps.
+func TestInvariantsUnderPerturbation(t *testing.T) {
+	draws := 25
+	if testing.Short() {
+		draws = 6
+	}
+	rng := rand.New(rand.NewSource(20100623))
+	for i := 0; i < draws; i++ {
+		o := drawOpts(rng)
+		o.Perturb = drawPerturb(rng)
+		o.Limit = 500 * time.Second
+		rc := &residencyChecker{t: t, every: 500 * time.Microsecond}
+		setup := o.Setup
+		o.Setup = func(m *sim.Machine) {
+			if setup != nil {
+				setup(m)
+			}
+			m.AddActor(rc)
+		}
+		res := exp.Run(o)
+
+		m := res.Machine
+		m.Sync()
+		now := m.Now()
+		if res.Truncated {
+			t.Fatalf("perturbed draw %d (%s on %s): hit the time limit — a task was starved or lost",
+				i, o.Strategy, m.Topo.Name)
+		}
+		for _, tk := range m.Tasks() {
+			if tk.Group == o.Spec.Name && tk.State != task.Done {
+				t.Errorf("perturbed draw %d (%s on %s): app task %q lost in state %v",
+					i, o.Strategy, m.Topo.Name, tk.Name, tk.State)
+			}
+			if alive := now - tk.StartedAt; int64(tk.ExecTime) > alive {
+				t.Errorf("perturbed draw %d (%s on %s): task %q exec %v exceeds real %v",
+					i, o.Strategy, m.Topo.Name, tk.Name, tk.ExecTime, time.Duration(alive))
+			}
+		}
+		// A core may legitimately end the run offline (the machine stops
+		// the moment the app exits, pending replugs unfired), so only the
+		// accounting bounds are checked per core.
+		var busy time.Duration
+		for _, c := range m.Cores {
+			if int64(c.BusyTime) > now {
+				t.Errorf("perturbed draw %d (%s on %s): core %d busy %v > elapsed %v",
+					i, o.Strategy, m.Topo.Name, c.ID(), c.BusyTime, time.Duration(now))
+			}
+			busy += c.BusyTime
+		}
+		if limit := now * int64(len(m.Cores)); int64(busy) > limit {
+			t.Errorf("perturbed draw %d (%s on %s): total busy %v exceeds elapsed × %d cores = %v",
 				i, o.Strategy, m.Topo.Name, busy, len(m.Cores), time.Duration(limit))
 		}
 	}

@@ -130,9 +130,11 @@ type Machine struct {
 	tasks    []*task.Task
 	actors   []Actor
 	placer   Placer
-	idleFns  []func(c *Core)
-	doneFns  []func(t *task.Task)
-	moveFns  []func(t *task.Task, from, to int)
+	idleFns   []func(c *Core)
+	doneFns   []func(t *task.Task)
+	moveFns   []func(t *task.Task, from, to int)
+	onlineFns []func(c *Core, online bool)
+	nOnline   int
 	running  bool
 	stopped  bool
 	nextTask int
@@ -167,7 +169,8 @@ func New(tp *topo.Topology, cfg Config) *Machine {
 	}
 	m.Stats.Migrations = make(map[string]int)
 	for i := range tp.Cores {
-		c := &Core{id: i, info: &tp.Cores[i], m: m, memDomain: tp.MemDomainOf(i)}
+		c := &Core{id: i, info: &tp.Cores[i], m: m, memDomain: tp.MemDomainOf(i),
+			online: true, freq: 1}
 		c.sched = cfg.NewScheduler(i)
 		c.sched.Attach(m, i)
 		// The stop event is the single hottest timer: it is re-armed on
@@ -176,6 +179,7 @@ func New(tp *topo.Topology, cfg Config) *Machine {
 		c.stopEv = eventq.NewEvent(func(now int64) { c.onStop() })
 		m.Cores = append(m.Cores, c)
 	}
+	m.nOnline = len(m.Cores)
 	m.placer = leastLoadedPlacer{}
 	return m
 }
@@ -282,6 +286,168 @@ func (m *Machine) OnCoreChange(fn func(t *task.Task, from, to int)) {
 	m.moveFns = append(m.moveFns, fn)
 }
 
+// OnOnlineChange registers a hook invoked after a core goes offline or
+// comes back online (SetCoreOnline). On unplug it fires after the
+// core's tasks have been drained to online cores; balancers use it to
+// invalidate per-core state (speed samples, tick timers) for cores that
+// no longer run anything.
+func (m *Machine) OnOnlineChange(fn func(c *Core, online bool)) {
+	m.onlineFns = append(m.onlineFns, fn)
+}
+
+// OnlineCores returns the number of cores currently online.
+func (m *Machine) OnlineCores() int { return m.nOnline }
+
+// SetCoreOnline hot-unplugs (online=false) or replugs (online=true) a
+// core, modelling CPU hotplug. Unplugging drains the core's running and
+// queued tasks to online cores — breaking single-core affinity the way
+// the kernel's select_fallback_rq does when a task's last allowed CPU
+// vanishes — and the drained moves are charged as ordinary migrations
+// labelled "hotplug". Sleeping and blocked tasks whose last core is
+// offline are redirected when they wake. Unplugging the last online
+// core panics. No-op when the core is already in the requested state.
+func (m *Machine) SetCoreOnline(core int, online bool) {
+	c := m.Cores[core]
+	if c.online == online {
+		return
+	}
+	if online {
+		c.online = true
+		m.nOnline++
+		if m.tracer != nil {
+			m.Emit(trace.Event{Kind: trace.KindCoreOnline, Core: core})
+		}
+		if m.metrics != nil {
+			m.metrics.Counter("hotplug.online").Inc()
+		}
+		for _, fn := range m.onlineFns {
+			fn(c, true)
+		}
+		// The replugged core is empty: run the new-idle hooks so
+		// balancers can pull work onto it immediately.
+		c.dispatch()
+		return
+	}
+	if m.nOnline == 1 {
+		panic(fmt.Sprintf("sim: cannot unplug core %d: it is the last online core", core))
+	}
+	// Settle and detach everything the core holds, then mark it offline
+	// and re-place the orphans. An offline core accrues neither busy nor
+	// idle time.
+	var moved []*task.Task
+	if t := c.cur; t != nil {
+		c.account()
+		c.stopCurrent()
+		c.sched.Dequeue(t)
+		t.State = task.Runnable
+		moved = append(moved, t)
+	}
+	for _, t := range c.sched.Queued() {
+		c.sched.Dequeue(t)
+		moved = append(moved, t)
+	}
+	if c.idle {
+		c.idleTime += time.Duration(m.now - c.idleSince)
+		c.idle = false
+	}
+	c.online = false
+	m.nOnline--
+	m.events.Remove(c.stopEv)
+	if m.tracer != nil {
+		m.Emit(trace.Event{Kind: trace.KindCoreOffline, Core: core, N: len(moved)})
+	}
+	if m.metrics != nil {
+		m.metrics.Counter("hotplug.offline").Inc()
+		if len(moved) > 0 {
+			m.metrics.Counter("hotplug.drained").Add(int64(len(moved)))
+		}
+	}
+	for _, t := range moved {
+		dst := m.fallbackCore(t)
+		m.NoteMigration(t, dst, "hotplug")
+		m.enqueue(t, dst, false)
+	}
+	for _, fn := range m.onlineFns {
+		fn(c, false)
+	}
+}
+
+// fallbackCore picks the least-loaded online core allowed by the task's
+// affinity (ties to the lowest ID). When the affinity holds no online
+// core — a pinned task whose core was unplugged — the mask is widened
+// to all cores, mirroring the kernel's select_fallback_rq.
+func (m *Machine) fallbackCore(t *task.Task) int {
+	best, bestLoad := -1, 0
+	for _, c := range m.Cores {
+		if !c.online || !t.Affinity.Has(c.id) {
+			continue
+		}
+		l := c.sched.NrRunnable()
+		if best == -1 || l < bestLoad {
+			best, bestLoad = c.id, l
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	t.Affinity = m.Topo.AllCores()
+	for _, c := range m.Cores {
+		if !c.online {
+			continue
+		}
+		l := c.sched.NrRunnable()
+		if best == -1 || l < bestLoad {
+			best, bestLoad = c.id, l
+		}
+	}
+	if best == -1 {
+		panic(fmt.Sprintf("sim: no online core for task %q", t.Name))
+	}
+	return best
+}
+
+// SetCoreFreq sets the core's dynamic frequency factor (1.0 nominal,
+// must be positive). In-progress accounting is settled at the old
+// frequency and the core's stop event re-derived at the new one.
+func (m *Machine) SetCoreFreq(core int, f float64) {
+	if f <= 0 {
+		panic(fmt.Sprintf("sim: core %d frequency factor %v not positive", core, f))
+	}
+	c := m.Cores[core]
+	if c.freq == f {
+		return
+	}
+	c.account()
+	c.freq = f
+	if c.cur != nil {
+		c.scheduleStop()
+	}
+}
+
+// SetCoreStolen sets the fraction of wall time kernel-level activity
+// steals from whatever runs on the core, in [0, 1]. 1 freezes the core
+// (an interrupt storm): tasks stay resident but make no progress until
+// the fraction drops. In-progress accounting is settled at the old
+// fraction and the core's stop event re-derived at the new one.
+func (m *Machine) SetCoreStolen(core int, s float64) {
+	if s < 0 || s > 1 {
+		panic(fmt.Sprintf("sim: core %d stolen fraction %v outside [0,1]", core, s))
+	}
+	c := m.Cores[core]
+	if c.stolen == s {
+		return
+	}
+	c.account()
+	// Fold the closing segment into the wall-clock steal integral
+	// (StolenWall) before the fraction changes.
+	c.stolenWall += time.Duration(float64(m.now-c.stolenMark) * c.stolen)
+	c.stolenMark = m.now
+	c.stolen = s
+	if c.cur != nil {
+		c.scheduleStop()
+	}
+}
+
 // LiveTasks returns the number of tasks created and not yet exited. A
 // machine with zero live tasks has drained its workload: no running
 // program remains to spawn more.
@@ -344,6 +510,9 @@ func (m *Machine) StartOn(t *task.Task, core int) {
 	if !t.Affinity.Has(core) {
 		panic(fmt.Sprintf("sim: task %q placed on core %d outside affinity %v", t.Name, core, t.Affinity))
 	}
+	if !m.Cores[core].online {
+		panic(fmt.Sprintf("sim: task %q placed on offline core %d", t.Name, core))
+	}
 	if t.Sched.Weight == 0 {
 		t.Sched.Weight = task.NiceWeight(t.Nice)
 	}
@@ -392,13 +561,26 @@ func (m *Machine) wake(t *task.Task) {
 	}
 	m.Stats.Wakeups++
 	t.State = task.Runnable
-	m.enqueue(t, t.CoreID, true)
+	core := t.CoreID
+	if !m.Cores[core].online {
+		// The task's core was unplugged while it slept: redirect the
+		// wake to an online core (the kernel's select_task_rq fallback),
+		// charged as a hotplug migration.
+		core = m.fallbackCore(t)
+		m.NoteMigration(t, core, "hotplug")
+	}
+	m.enqueue(t, core, true)
 }
 
 // enqueue puts a runnable task on a core's queue and handles preemption.
 // Scheduler implementations maintain t.Sched.OnQueue.
 func (m *Machine) enqueue(t *task.Task, core int, wakeup bool) {
 	c := m.Cores[core]
+	if !c.online {
+		// Balancers must never move work to an offline core; wake and
+		// drain paths redirect before reaching here.
+		panic(fmt.Sprintf("sim: enqueue of task %q on offline core %d", t.Name, core))
+	}
 	t.CoreID = core
 	t.LastEnqueuedAt = m.now
 	preempt := c.sched.Enqueue(t, wakeup)
@@ -708,7 +890,7 @@ type leastLoadedPlacer struct{}
 func (leastLoadedPlacer) Place(m *Machine, t *task.Task) int {
 	best, bestLoad := -1, 0
 	for _, c := range m.Cores {
-		if !t.Affinity.Has(c.id) {
+		if !c.online || !t.Affinity.Has(c.id) {
 			continue
 		}
 		l := c.sched.NrRunnable()
@@ -727,10 +909,17 @@ func (leastLoadedPlacer) Place(m *Machine, t *task.Task) int {
 // (§5.2: "each of the threads gets pinned ... in round-robin fashion").
 type RoundRobinPlacer struct{ n int }
 
-// Place implements Placer.
+// Place implements Placer. Offline cores are skipped (keeping the
+// round-robin position advancing past them); if every allowed core is
+// offline the affinity is widened like the kernel's fallback path.
 func (p *RoundRobinPlacer) Place(m *Machine, t *task.Task) int {
 	cores := t.Affinity.Cores()
-	c := cores[p.n%len(cores)]
-	p.n++
-	return c
+	for range cores {
+		c := cores[p.n%len(cores)]
+		p.n++
+		if m.Cores[c].online {
+			return c
+		}
+	}
+	return m.fallbackCore(t)
 }

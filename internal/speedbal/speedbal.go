@@ -166,6 +166,10 @@ type Balancer struct {
 	speeds []float64
 	// sampled[j] is when core j's balancer last sampled.
 	sampled []int64
+	// lastStolen[j] is core j's steal-time reading (Core.StolenWall, the
+	// /proc/stat steal+irq account) at its last sample, so the idle-core
+	// speed estimate can discount kernel noise a newcomer would suffer.
+	lastStolen []time.Duration
 	// lastMigration[j] is when core j was last involved in a migration
 	// (as source or destination).
 	lastMigration []int64
@@ -285,6 +289,7 @@ func (b *Balancer) Start(m *sim.Machine) {
 	n := len(b.cores)
 	b.speeds = make([]float64, n)
 	b.sampled = make([]int64, n)
+	b.lastStolen = make([]time.Duration, n)
 	b.lastMigration = make([]int64, n)
 	for j := range b.speeds {
 		b.speeds[j] = -1 // unsampled
@@ -305,6 +310,7 @@ func (b *Balancer) Start(m *sim.Machine) {
 	}
 	m.OnCoreChange(b.noteMove)
 	m.OnTaskDone(b.noteDone)
+	m.OnOnlineChange(b.noteOnline)
 	b.wakeTimers = make([]*sim.Timer, n)
 	for j := range b.cores {
 		j := j
@@ -328,6 +334,35 @@ func (b *Balancer) noteMove(t *task.Task, from, to int) {
 	if j, ok := b.coreIdx[to]; ok {
 		b.insertMember(j, t, rank)
 	}
+	// The thread's lastExec/lastWork baselines are deliberately NOT
+	// rebased at the move. The pending Δexec since its last sample was
+	// earned on the source core, so the destination's next window can
+	// see a per-thread share above 1 and read spuriously fast for one
+	// interval — exactly what the paper's /proc-reading user-level
+	// balancer measures after a pull (per-thread counters are
+	// cumulative; residence is whatever the scan finds). The artifact is
+	// self-correcting after one window and acts as post-pull hysteresis:
+	// a freshly loaded core briefly reads fast, which suppresses
+	// immediate follow-on pulls toward its neighbours. Rebasing here
+	// (measured) costs EP ~15% of its speedup via over-pulling.
+	// Hotplug-drain staleness is handled separately: noteOnline
+	// invalidates the *core's* sample window at unplug and replug.
+}
+
+// noteOnline invalidates a managed core's speed sample when the core is
+// unplugged or replugged: a stale sample would otherwise keep skewing
+// s_global — and keep attracting pulls toward the measurement of a core
+// that no longer runs anything — until the core's own balancer thread
+// next woke. The sample window restarts at the transition so the first
+// post-replug sample does not average across the offline gap.
+func (b *Balancer) noteOnline(c *sim.Core, online bool) {
+	j, ok := b.coreIdx[c.ID()]
+	if !ok {
+		return
+	}
+	b.speeds[j] = -1
+	b.sampled[j] = b.m.Now()
+	b.lastStolen[j] = c.StolenWall()
 }
 
 // noteDone drops an exited managed thread from its membership list and
@@ -398,6 +433,18 @@ func (b *Balancer) wake(j int, now int64) {
 		// event queue busy after the workload has exited.
 		return
 	}
+	if !b.m.Cores[b.cores[j]].Online() {
+		// The core was hot-unplugged: its threads were drained elsewhere,
+		// so there is nothing to measure and pulling work here would be a
+		// bug. Keep the thread alive (the real balancer thread would just
+		// find itself migrated off the dead core) and keep the sample
+		// window fresh for the replug.
+		b.speeds[j] = -1
+		b.sampled[j] = now
+		b.lastStolen[j] = b.m.Cores[b.cores[j]].StolenWall()
+		b.wakeTimers[j].Schedule(now + int64(b.cfg.Interval) + b.jitter())
+		return
+	}
 	b.sample(j, now)
 	b.balance(j, now)
 	b.wakeTimers[j].Schedule(now + int64(b.cfg.Interval) + b.jitter())
@@ -452,6 +499,18 @@ func (b *Balancer) sample(j int, now int64) {
 		return
 	}
 	b.sampled[j] = now
+	// Difference the core's steal account over the window: the share of
+	// wall time kernel noise took regardless of what ran. Busy cores
+	// already see theft through their threads' exec times; the idle-core
+	// estimate below needs it read directly.
+	stolenNow := c.StolenWall()
+	stolenFrac := float64(stolenNow-b.lastStolen[j]) / float64(wall)
+	b.lastStolen[j] = stolenNow
+	if stolenFrac < 0 {
+		stolenFrac = 0
+	} else if stolenFrac > 1 {
+		stolenFrac = 1
+	}
 	var sum float64
 	var cnt int
 	for _, t := range b.members[j] {
@@ -495,8 +554,9 @@ func (b *Balancer) sample(j int, now int64) {
 	if cnt == 0 {
 		// No managed thread here: the core's "speed" for the
 		// application is the share a newcomer would get — high when
-		// the core is idle, low when unrelated work occupies it.
-		s := 1.0 / float64(c.NrRunnable()+1) * c.Info().BaseSpeed
+		// the core is idle, low when unrelated work occupies it or
+		// kernel noise (the steal account) is eating it.
+		s := (1 - stolenFrac) / float64(c.NrRunnable()+1) * c.Info().BaseSpeed
 		if b.cfg.SMTAware {
 			s *= b.smtFactor(coreID)
 		}
@@ -584,6 +644,14 @@ func (b *Balancer) balance(j int, now int64) {
 	var cands []cand
 	for k, remote := range b.cores {
 		if k == j || b.speeds[k] < 0 {
+			continue
+		}
+		if !b.m.Cores[remote].Online() {
+			// Unplugged since its last sample: nothing runs there and a
+			// swap would try to push a thread onto a dead core.
+			if tr {
+				b.traceSkip(local, remote, "offline", b.speeds[k], sg)
+			}
 			continue
 		}
 		sk := b.speeds[k]

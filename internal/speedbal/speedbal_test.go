@@ -272,3 +272,55 @@ func TestOnlyManagedThreadsMoved(t *testing.T) {
 		t.Errorf("unmanaged pinned hog migrated %d times", hog.Migrations)
 	}
 }
+
+// Hotplug: unplug a core mid-run under speed balancing. The balancer
+// must never pull work toward the offline core, must not lose the
+// drained threads, and must re-adopt the core after replug (its
+// post-replug balancer wakes see an idle core and pull work back).
+func TestHotplugUnplugReplug(t *testing.T) {
+	m := sim.New(topo.SMP(4), sim.Config{Seed: 9, NewScheduler: cfs.Factory()})
+	app := spmd.Build(m, spmd.Spec{
+		Name: "app", Threads: 4, Iterations: 1, WorkPerIteration: 2e9,
+		Model: spmd.UPC(), Affinity: cpuset.All(4),
+	})
+	cfg := speedbal.DefaultConfig()
+	sb := speedbal.New(cfg)
+
+	const unplugAt = 200 * time.Millisecond
+	const replugAt = 500 * time.Millisecond
+	var badPulls int
+	sb.OnMigrate = func(tk *task.Task, from, to int, now int64) {
+		if to == 3 && now >= int64(unplugAt) && now < int64(replugAt) {
+			badPulls++
+		}
+	}
+	sb.Launch(m, app)
+	var busyAtReplug time.Duration
+	m.After(unplugAt, func(int64) { m.SetCoreOnline(3, false) })
+	m.After(replugAt, func(int64) {
+		busyAtReplug = m.Cores[3].BusyTime
+		m.SetCoreOnline(3, true)
+	})
+	m.Run(int64(time.Hour))
+	m.Sync()
+	if !app.Done() {
+		t.Fatal("app did not finish across unplug/replug")
+	}
+	for _, tk := range app.Tasks {
+		if tk.State != task.Done {
+			t.Errorf("thread %q lost in state %v", tk.Name, tk.State)
+		}
+	}
+	if badPulls > 0 {
+		t.Errorf("%d pulls targeted the offline core", badPulls)
+	}
+	// The doubled-up core runs at half speed after the drain; once core
+	// 3 returns, its balancer thread must notice the idle core and pull
+	// a thread back rather than leaving the 2-1-1-0 split in place.
+	if sb.Migrations == 0 {
+		t.Errorf("no migrations at all — the replugged core was never rebalanced")
+	}
+	if got := m.Cores[3].BusyTime; got <= busyAtReplug {
+		t.Errorf("core 3 busy time did not grow after replug (at replug %v, final %v)", busyAtReplug, got)
+	}
+}

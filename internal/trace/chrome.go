@@ -139,6 +139,19 @@ func (cw *ChromeWriter) writeArgs(e Event) {
 		cw.intArg("dst", e.Dst)
 	case KindRoundAdvance:
 		cw.intArg("round", e.N)
+	case KindCoreOffline:
+		cw.intArg("drained", e.N)
+	case KindCoreOnline:
+		// Core is already the tid; no extra evidence.
+	case KindNoiseBegin:
+		cw.strArg("label", e.Label)
+		cw.floatArg("stolen", e.SK)
+		cw.intArg("dur_ns", int(e.Dur))
+	case KindNoiseEnd:
+		cw.strArg("label", e.Label)
+		cw.floatArg("stolen", e.SK)
+	case KindFreqChange:
+		cw.floatArg("freq", e.SK)
 	}
 }
 

@@ -68,6 +68,21 @@ const (
 	// KindRoundAdvance is a DWRR core advancing its round: Core,
 	// N = the new round number.
 	KindRoundAdvance
+	// KindCoreOffline is a core hot-unplug (sim.Machine.SetCoreOnline):
+	// Core, N = tasks drained to other cores.
+	KindCoreOffline
+	// KindCoreOnline is a core replug: Core.
+	KindCoreOnline
+	// KindNoiseBegin is a kernel-noise or interrupt-storm burst starting
+	// on a core: Core, Label (the injector: "noise", "storm"), SK = the
+	// stolen fraction now in force, Dur = the planned burst length.
+	KindNoiseBegin
+	// KindNoiseEnd is the burst ending: Core, Label, SK = the stolen
+	// fraction the core returns to (0 unless bursts overlap).
+	KindNoiseEnd
+	// KindFreqChange is a dynamic frequency step: Core, SK = the new
+	// frequency factor (1.0 nominal).
+	KindFreqChange
 )
 
 // String names the kind (the Chrome event name for instant events).
@@ -97,6 +112,16 @@ func (k Kind) String() string {
 		return "sleeper-credit"
 	case KindRoundAdvance:
 		return "round-advance"
+	case KindCoreOffline:
+		return "core-offline"
+	case KindCoreOnline:
+		return "core-online"
+	case KindNoiseBegin:
+		return "noise-begin"
+	case KindNoiseEnd:
+		return "noise-end"
+	case KindFreqChange:
+		return "freq-change"
 	}
 	return "unknown"
 }

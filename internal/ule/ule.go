@@ -93,6 +93,10 @@ func (b *Balancer) Start(m *sim.Machine) {
 func (b *Balancer) push(now int64) {
 	var hi, lo *sim.Core
 	for _, c := range b.m.Cores {
+		if !c.Online() {
+			// An offline queue holds nothing and must receive nothing.
+			continue
+		}
 		if hi == nil || c.NrRunnable() > hi.NrRunnable() {
 			hi = c
 		}
@@ -125,7 +129,7 @@ func (b *Balancer) push(now int64) {
 func (b *Balancer) idled(c *sim.Core) {
 	var busiest *sim.Core
 	for _, o := range b.m.Cores {
-		if o == c || o.NrRunnable() < b.cfg.StealThreshold {
+		if o == c || !o.Online() || o.NrRunnable() < b.cfg.StealThreshold {
 			continue
 		}
 		if busiest == nil || o.NrRunnable() > busiest.NrRunnable() {

@@ -36,6 +36,7 @@ import (
 	"repro/internal/linuxlb"
 	"repro/internal/metrics"
 	"repro/internal/npb"
+	"repro/internal/perturb"
 	"repro/internal/sim"
 	"repro/internal/speedbal"
 	"repro/internal/spmd"
@@ -91,6 +92,31 @@ type (
 	// MetricsRegistry collects scheduler counters, gauges and histograms
 	// (see WithMetrics).
 	MetricsRegistry = metrics.Registry
+	// PerturbConfig describes a deterministic fault-injection mix:
+	// kernel-noise bursts, core hot-unplug/replug, per-core frequency
+	// drift and interrupt storms (see System.Inject).
+	PerturbConfig = perturb.Config
+	// PerturbInjector drives a PerturbConfig's schedule on one machine.
+	PerturbInjector = perturb.Injector
+)
+
+// Canned perturbation profiles and the -perturb flag parser.
+var (
+	// KernelNoise is IRQ/SMM-style theft: invisible to run queues,
+	// visible to speed measurement.
+	KernelNoise = perturb.DefaultNoise
+	// KthreadNoise is schedulable noise: pinned nice −20 daemons whose
+	// bursts land on run queues, goading queue-length balancers.
+	KthreadNoise = perturb.KthreadNoise
+	// HotplugChurn unplugs and replugs cores.
+	HotplugChurn = perturb.DefaultHotplug
+	// FreqDrift makes per-core frequency factors walk randomly.
+	FreqDrift = perturb.DefaultFreq
+	// IRQStorm freezes one socket at a time.
+	IRQStorm = perturb.DefaultStorm
+	// ParsePerturb parses a comma-separated family list ("noise,
+	// kthread, hotplug, freq, storm, all") into a PerturbConfig.
+	ParsePerturb = perturb.Parse
 )
 
 // NewTraceRing builds an event buffer keeping the most recent cap
@@ -278,6 +304,17 @@ func (s *System) SpeedBalance(app *App, cfg SpeedConfig) *SpeedBalancer {
 	b := speedbal.New(cfg)
 	b.Launch(s.m, app)
 	return b
+}
+
+// Inject composes a deterministic perturbation schedule onto the
+// system. The schedule is a pure function of the configuration and the
+// system seed, so perturbed runs stay reproducible. Call before the
+// run starts; the returned injector's counters (NoiseBursts, Hotplugs,
+// FreqSteps, Storms) report what was injected.
+func (s *System) Inject(cfg PerturbConfig) *PerturbInjector {
+	in := perturb.New(cfg)
+	s.m.AddActor(in)
+	return in
 }
 
 // AddCPUHog pins a compute-only competitor to the given core.
