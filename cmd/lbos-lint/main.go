@@ -10,16 +10,18 @@
 // It runs three analyzers (see each package's doc for the full rules):
 //
 //	nodeterm    wall-clock reads, global math/rand, nondeterministically
-//	            seeded sources, selects that race
+//	            seeded sources, selects that race, machine-global
+//	            simulator calls from worker goroutines
 //	maporder    range over a map feeding an output sink without a sort
-//	slotsafety  Runner cell functions that capture loop variables or
-//	            mutate shared state
+//	slotsafety  Runner cell functions and go-launched worker goroutines
+//	            that capture loop variables or mutate shared state
+//	            outside their own slot
 //
 // Findings print as file:line:col: analyzer: message, and any finding
 // makes the exit status 1, so CI can gate on it. A site that is
 // deliberately exempt carries a //lint:allow-<category> directive on its
 // line or the line above (categories: wallclock, rand, select, maporder,
-// slotsafety).
+// slotsafety, machineglobal).
 //
 // The implementation is stdlib-only (see internal/analysis); the
 // analyzers follow the golang.org/x/tools/go/analysis shape, so they

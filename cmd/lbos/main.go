@@ -38,6 +38,12 @@
 //	             noise), hotplug, freq, storm, or all (see
 //	             internal/perturb); schedules derive from -seed, so
 //	             perturbed tables stay bit-identical at any -parallel
+//	-shards N    partition every run's simulator into N per-socket event
+//	             shards (clamped to the machine's socket count; 0/1 =
+//	             single queue); tables are bit-identical at every N
+//	-shardpar    additionally run shard-confined simulation spans on
+//	             parallel goroutines (conservative lookahead windows);
+//	             output bytes are unchanged
 //	-q           suppress progress logging
 package main
 
@@ -77,7 +83,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lbos list | lbos run [-reps N] [-scale K] [-seed S] [-parallel P] [-failfast] [-csv DIR] [-trace FILE] [-metrics] [-perturb LIST] [-q] <id>...|all | lbos bench [-out FILE] [-baseline FILE] [-tol F] [-q]")
+	fmt.Fprintln(os.Stderr, "usage: lbos list | lbos run [-reps N] [-scale K] [-seed S] [-parallel P] [-failfast] [-csv DIR] [-trace FILE] [-metrics] [-perturb LIST] [-shards N] [-shardpar] [-q] <id>...|all | lbos bench [-out FILE] [-baseline FILE] [-tol F] [-q]")
 }
 
 // bench runs the perfbench suite, writes BENCH_<n>.json and gates the
@@ -190,6 +196,8 @@ func run(args []string) {
 	traceFile := fs.String("trace", "", "write a Chrome trace-event JSON of all runs to this file")
 	withMetrics := fs.Bool("metrics", false, "collect and print scheduler metrics per experiment")
 	perturbSpec := fs.String("perturb", "", "inject faults: comma-separated from noise,kthread,hotplug,freq,storm,all")
+	shards := fs.Int("shards", 0, "per-socket event shards per run (0/1 = single queue)")
+	shardPar := fs.Bool("shardpar", false, "run shard-confined spans on parallel goroutines")
 	quiet := fs.Bool("q", false, "suppress progress logging")
 	fs.Parse(args)
 
@@ -222,6 +230,7 @@ func run(args []string) {
 		Reps: *reps, Scale: *scale, Seed: *seed,
 		Parallelism: *parallel, FailFast: *failfast,
 		Perturb: pcfg,
+		Shards:  *shards, ShardParallel: *shardPar,
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)

@@ -159,7 +159,7 @@ func main() {
 				runs[i]()
 				if len(runs) > 1 {
 					progressMu.Lock()
-					finished++
+					finished++ //lint:allow-slotsafety progressMu serialises this progress counter
 					fmt.Fprintf(os.Stderr, "speedbalance: %d/%d runs done\n", finished, len(runs))
 					progressMu.Unlock()
 				}

@@ -57,9 +57,9 @@ func main() {
 
 	fmt.Printf("16 threads / 16 cores, 6 noisy (kthread bursts):\n")
 	fmt.Printf("  LOAD : %8v   (%d noise bursts injected)\n",
-		appL.Elapsed().Round(time.Millisecond), inL.NoiseBursts)
+		appL.Elapsed().Round(time.Millisecond), inL.NoiseBursts())
 	fmt.Printf("  SPEED: %8v   (%d noise bursts, %d balancer migrations)\n",
-		appS.Elapsed().Round(time.Millisecond), inS.NoiseBursts, bal.Migrations)
+		appS.Elapsed().Round(time.Millisecond), inS.NoiseBursts(), bal.Migrations)
 	fmt.Printf("  SPEED improvement: %.1f%%\n",
 		100*(appL.Elapsed().Seconds()-appS.Elapsed().Seconds())/appS.Elapsed().Seconds())
 }

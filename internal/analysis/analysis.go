@@ -18,8 +18,8 @@
 //	start := time.Now() //lint:allow-wallclock progress reporting only
 //
 // The directive names the diagnostic's category (wallclock, rand,
-// select, maporder, slotsafety), so an escape hatch for one rule never
-// silences another on the same line.
+// select, maporder, slotsafety, machineglobal), so an escape hatch for
+// one rule never silences another on the same line.
 package analysis
 
 import (

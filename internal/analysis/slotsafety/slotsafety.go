@@ -23,10 +23,26 @@
 // Reads of non-loop outer variables are allowed: cells routinely read
 // workload specs built before the loop. //lint:allow-slotsafety
 // suppresses a finding that is deliberate (e.g. an atomic counter).
+//
+// The same discipline governs the simulator's shard workers: inside a
+// parallel lookahead window each shard goroutine (the machine launches
+// them as `go func(s int) { ... }(s)`) may touch only the state of its
+// own shard, and cross-shard effects happen at the merge point after
+// the window closes. The analyzer therefore also inspects every
+// function literal launched by a go statement and flags:
+//
+//   - writes to variables declared outside the literal, unless the
+//     access path selects the worker's own slot — an index expression
+//     whose index is one of the literal's integer parameters, the
+//     per-shard idiom `states[s].field = ...` in `go func(s int)`;
+//   - reads of enclosing loop variables — pass the value as an
+//     argument (`go func(s int) { ... }(s)`) so each worker's identity
+//     is fixed at launch.
 package slotsafety
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"repro/internal/analysis"
@@ -78,6 +94,10 @@ func walk(pass *analysis.Pass, n ast.Node, loopVars []types.Object) {
 	case *ast.CallExpr:
 		if lit := cellLiteral(pass, n); lit != nil {
 			checkCell(pass, lit, loopVars)
+		}
+	case *ast.GoStmt:
+		if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+			checkWorker(pass, lit, loopVars)
 		}
 	}
 	walkChildren(pass, n, loopVars)
@@ -164,6 +184,117 @@ func checkCell(pass *analysis.Pass, lit *ast.FuncLit, loopVars []types.Object) {
 		}
 		return true
 	})
+}
+
+// checkWorker reports shared-state writes and loop-variable captures
+// inside a function literal launched by a go statement — the shard
+// worker shape. Writes that stay inside the worker's own slot (an index
+// expression indexed by one of the literal's integer parameters) are
+// the sanctioned per-shard idiom and pass.
+func checkWorker(pass *analysis.Pass, lit *ast.FuncLit, loopVars []types.Object) {
+	slots := intParams(pass, lit)
+	isLoopVar := func(obj types.Object) bool {
+		for _, lv := range loopVars {
+			if obj == lv {
+				return true
+			}
+		}
+		return false
+	}
+	free := func(obj types.Object) bool {
+		return obj != nil && (obj.Pos() < lit.Pos() || obj.Pos() > lit.End())
+	}
+	report := func(pos token.Pos, obj types.Object) {
+		pass.Reportf(pos, "slotsafety",
+			"worker goroutine mutates %s, which other workers can reach; confine writes to the worker's own slot (indexed by its shard parameter) and fold shared state at the merge point after the window", obj.Name())
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if obj, slotted := slottedWriteTarget(pass, lhs, slots); !slotted && free(obj) {
+					report(lhs.Pos(), obj)
+				}
+			}
+		case *ast.IncDecStmt:
+			if obj, slotted := slottedWriteTarget(pass, n.X, slots); !slotted && free(obj) {
+				report(n.Pos(), obj)
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) > 0 {
+				if _, builtin := pass.TypesInfo.Uses[id].(*types.Builtin); builtin {
+					if obj, slotted := slottedWriteTarget(pass, n.Args[0], slots); !slotted && free(obj) {
+						report(n.Pos(), obj)
+					}
+				}
+			}
+		case *ast.Ident:
+			if obj, ok := pass.TypesInfo.Uses[n].(*types.Var); ok && isLoopVar(obj) {
+				pass.Reportf(n.Pos(), "slotsafety",
+					"worker goroutine captures loop variable %s; pass it as an argument (go func(%s int) { ... }(%s)) so the worker's identity is fixed at launch", n.Name, n.Name, n.Name)
+			}
+		}
+		return true
+	})
+}
+
+// intParams collects the objects of a literal's integer-typed
+// parameters — the candidate shard/slot indices.
+func intParams(pass *analysis.Pass, lit *ast.FuncLit) []types.Object {
+	var out []types.Object
+	if lit.Type.Params == nil {
+		return nil
+	}
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if b, ok := obj.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// slottedWriteTarget resolves the root variable of a write target like
+// writeTarget, and additionally reports whether the access path passes
+// through an index expression whose index is one of the worker's slot
+// parameters — `states[s].field` with parameter s is slot-confined.
+func slottedWriteTarget(pass *analysis.Pass, expr ast.Expr, slots []types.Object) (types.Object, bool) {
+	slotted := false
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if e.Name == "_" {
+				return nil, slotted
+			}
+			if obj, ok := pass.TypesInfo.Uses[e].(*types.Var); ok {
+				return obj, slotted
+			}
+			return nil, slotted
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			if id, ok := e.Index.(*ast.Ident); ok {
+				idx := pass.TypesInfo.Uses[id]
+				for _, s := range slots {
+					if idx == s {
+						slotted = true
+					}
+				}
+			}
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil, slotted
+		}
+	}
 }
 
 // writeTarget resolves the variable ultimately written by an assignment

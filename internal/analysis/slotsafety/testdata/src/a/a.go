@@ -76,3 +76,45 @@ func mutatesThroughField(r *Runner, agg *struct{ total int64 }) {
 		return res
 	}, nil)
 }
+
+// shardState mirrors one shard's slot in the machine's shardStates.
+type shardState struct {
+	events int
+	now    int64
+}
+
+func workerMutatesSharedTotal(states []shardState) int {
+	total := 0
+	for s := 0; s < len(states); s++ {
+		go func(s int) {
+			states[s].events++
+			total += states[s].events // want "mutates total"
+		}(s)
+	}
+	return total
+}
+
+func workerCapturesLoopVar(states []shardState) {
+	for s := 0; s < len(states); s++ {
+		go func() {
+			states[s].events++ // want "mutates states" "captures loop variable s"
+		}()
+	}
+}
+
+func workerWritesOtherSlot(states []shardState, horizon int64) {
+	for s := 0; s < len(states); s++ {
+		go func(s int) {
+			// The index is not the worker's own parameter: shared.
+			states[0].now = horizon // want "mutates states"
+		}(s)
+	}
+}
+
+func workerDeletesSharedMap(pending map[int]int, shards int) {
+	for s := 0; s < shards; s++ {
+		go func(s int) {
+			delete(pending, s) // want "mutates pending"
+		}(s)
+	}
+}

@@ -60,3 +60,49 @@ func allowed(r *Runner, counter *int) {
 		return RunResult{}
 	}, nil)
 }
+
+// shardState mirrors one shard's slot in the machine's shardStates.
+type shardState struct {
+	events int
+	now    int64
+}
+
+// slotConfined is the machine's window-worker idiom: the shard index
+// arrives as an argument and every write lands in the worker's own
+// slot; the fold after the window merges the slots on the event loop.
+func slotConfined(states []shardState, horizon int64) int {
+	for s := 0; s < len(states); s++ {
+		go func(s int) {
+			states[s].events++
+			states[s].now = horizon
+		}(s)
+	}
+	total := 0
+	for s := range states {
+		total += states[s].events
+	}
+	return total
+}
+
+// workerLocals writes only its own locals and reads outer config.
+func workerLocals(horizon int64, shards int) {
+	for s := 0; s < shards; s++ {
+		go func(s int) {
+			fired := 0
+			for t := int64(s); t < horizon; t += 7 {
+				fired++
+			}
+			_ = fired
+		}(s)
+	}
+}
+
+// allowedWorker demonstrates the escape hatch for a deliberate shared
+// write (a mutex-guarded progress counter, as in cmd/speedbalance).
+func allowedWorker(finished *int, shards int) {
+	for s := 0; s < shards; s++ {
+		go func(s int) {
+			*finished++ //lint:allow-slotsafety mutex-guarded progress counter
+		}(s)
+	}
+}

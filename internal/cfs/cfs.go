@@ -8,6 +8,12 @@
 // yielder behind all other runnable tasks. It dispenses with the
 // red-black tree (queues here are short; an ordered slice is simpler and
 // deterministic).
+//
+// CFS is trivially shard-local: every Queue touches only its own core's
+// tasks and never reads another queue, so under the sharded simulator
+// (sim.Config.Shards) per-core CFS scheduling always runs inside
+// parallel windows with no extra configuration. Cross-core movement is
+// the balancers' business (packages linuxlb, ule, dwrr, speedbal).
 package cfs
 
 import (

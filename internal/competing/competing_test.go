@@ -1,6 +1,7 @@
 package competing_test
 
 import (
+	"repro/internal/cpuset"
 	"testing"
 	"time"
 
@@ -101,7 +102,7 @@ func TestInteractive(t *testing.T) {
 // MakeJ respects its affinity restriction.
 func TestMakeJAffinity(t *testing.T) {
 	m := newMachine(4, 6)
-	mk := &competing.MakeJ{Width: 4, Affinity: 0b0011}
+	mk := &competing.MakeJ{Width: 4, Affinity: cpuset.Of(0, 1)}
 	m.AddActor(mk)
 	m.RunFor(2 * time.Second)
 	for _, tk := range m.Tasks() {

@@ -1,6 +1,7 @@
 package dwrr_test
 
 import (
+	"repro/internal/cpuset"
 	"testing"
 	"time"
 
@@ -49,7 +50,7 @@ func TestThreeOnTwoFairness(t *testing.T) {
 	if min < 5500*time.Millisecond {
 		t.Errorf("min exec %v: a thread is starved as under queue-length balancing", min)
 	}
-	if g.Steals == 0 {
+	if g.Steals() == 0 {
 		t.Error("round balancing performed no steals")
 	}
 }
@@ -93,10 +94,10 @@ func TestWeightedRounds(t *testing.T) {
 func TestStealRespectsAffinity(t *testing.T) {
 	m, _ := newDWRR(2, 4)
 	pinned := m.NewTask("pinned", &task.ComputeForever{Chunk: 1e9})
-	pinned.Affinity = 1 << 0
+	pinned.Affinity = cpuset.Of(0)
 	m.StartOn(pinned, 0)
 	other := m.NewTask("other", &task.ComputeForever{Chunk: 1e9})
-	other.Affinity = 1 << 0
+	other.Affinity = cpuset.Of(0)
 	m.StartOn(other, 0)
 	// Core 1 idles and will try to steal; both tasks are pinned to 0.
 	m.RunFor(2 * time.Second)
@@ -144,7 +145,7 @@ func TestMigrationVolume(t *testing.T) {
 	// 3 threads × 3 s at 2/3 speed ≈ 4.5 s; one steal per round (100 ms)
 	// gives dozens of migrations — far above speedbal's one per two
 	// 100 ms intervals.
-	if g.Steals < 20 {
-		t.Errorf("steals = %d, want ≥ 20 (DWRR migrates aggressively)", g.Steals)
+	if g.Steals() < 20 {
+		t.Errorf("steals = %d, want ≥ 20 (DWRR migrates aggressively)", g.Steals())
 	}
 }

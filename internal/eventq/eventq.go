@@ -36,6 +36,9 @@ type Event struct {
 	seq    uint64
 	index  int // heap index, -1 when not queued
 	pooled bool
+	// shard is the index of the Sharded sub-queue holding (or last
+	// holding) the event; 0 for events in a plain Queue.
+	shard int32
 }
 
 // NewEvent returns an unqueued event with the given callback, for callers

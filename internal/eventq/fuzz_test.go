@@ -1,0 +1,337 @@
+package eventq
+
+import (
+	"testing"
+)
+
+// The fuzz targets interpret the input as a little op script — 3-byte
+// chunks of (opcode, argA, argB) — driving the real queue alongside a
+// trivially-correct model, and fail on the first observable divergence.
+// They are the adversarial complement of the unit tests: the corpus
+// under testdata/fuzz/ pins the interleavings that matter (same-time
+// pushes, reschedule of a pending event, pooled release/reuse,
+// cross-shard moves, window entry on timestamp ties), and fuzzing mines
+// for new ones. CI runs each target briefly (-fuzztime) on every push.
+
+// refModel is the oracle for FuzzEventQueue: a flat list ordered by
+// nothing, searched linearly for the (At, seq) minimum — too slow to
+// ship, too simple to be wrong.
+type refModel struct {
+	ids  map[int]Time // id → scheduled time
+	seqs map[int]int  // id → model sequence of last scheduling
+	next int
+}
+
+func newRefModel() *refModel {
+	return &refModel{ids: map[int]Time{}, seqs: map[int]int{}}
+}
+
+func (r *refModel) push(id int, at Time) {
+	r.ids[id] = at
+	r.seqs[id] = r.next
+	r.next++
+}
+
+func (r *refModel) remove(id int) bool {
+	if _, ok := r.ids[id]; !ok {
+		return false
+	}
+	delete(r.ids, id)
+	delete(r.seqs, id)
+	return true
+}
+
+// min returns the id of the earliest (At, seq) pending event, or -1.
+func (r *refModel) min() int {
+	best, bestAt, bestSeq := -1, Time(0), 0
+	for id, at := range r.ids {
+		if best == -1 || at < bestAt || (at == bestAt && r.seqs[id] < bestSeq) {
+			best, bestAt, bestSeq = id, at, r.seqs[id]
+		}
+	}
+	return best
+}
+
+// FuzzEventQueue drives a single Queue through arbitrary
+// push/pop/reschedule/remove/release interleavings against the
+// reference model: every Pop and Peek must return exactly the event the
+// model predicts, including sequence-stable ordering of same-time
+// events and reuse of pooled events after Release.
+func FuzzEventQueue(f *testing.F) {
+	f.Add([]byte{})
+	// Same-time pushes must pop in push order.
+	f.Add([]byte{0, 5, 0, 0, 5, 0, 0, 5, 0, 2, 0, 0, 2, 0, 0, 2, 0, 0})
+	// Pooled push, pop+release, pooled push reusing the freed event.
+	f.Add([]byte{1, 3, 0, 2, 0, 0, 1, 3, 0, 2, 0, 0})
+	// Reschedule a pending event behind a same-time rival.
+	f.Add([]byte{0, 9, 0, 0, 9, 0, 3, 0, 9, 2, 0, 0, 2, 0, 0})
+	// Remove, then pop the survivor.
+	f.Add([]byte{0, 4, 0, 0, 6, 0, 4, 0, 0, 2, 0, 0})
+
+	f.Fuzz(func(t *testing.T, script []byte) {
+		var q Queue
+		model := newRefModel()
+		idOf := map[*Event]int{}
+		var owned []*Event // handles eligible for Schedule/Remove
+		nextID := 0
+
+		popAndCheck := func() {
+			want := model.min()
+			e := q.Pop()
+			if e == nil {
+				if want != -1 {
+					t.Fatalf("Pop = nil, model has event %d pending", want)
+				}
+				return
+			}
+			got, ok := idOf[e]
+			if !ok {
+				t.Fatalf("Pop returned an event the harness never pushed")
+			}
+			if got != want {
+				t.Fatalf("Pop = event %d (at=%d), model wants event %d (at=%d)",
+					got, e.At, want, model.ids[want])
+			}
+			model.remove(got)
+			delete(idOf, e)
+			q.Release(e) // no-op for owned events, recycles pooled ones
+		}
+
+		for i := 0; i+2 < len(script); i += 3 {
+			op, a, b := script[i]%6, script[i+1], script[i+2]
+			at := Time(b % 64)
+			switch op {
+			case 0: // owned push
+				e := q.Push(at, func(Time) {})
+				idOf[e] = nextID
+				owned = append(owned, e)
+				model.push(nextID, at)
+				nextID++
+			case 1: // pooled push (handle not retained past firing)
+				e := q.PushPooled(at, func(Time) {})
+				idOf[e] = nextID
+				model.push(nextID, at)
+				nextID++
+			case 2:
+				popAndCheck()
+			case 3: // reschedule an owned event (pending or fired)
+				if len(owned) == 0 {
+					continue
+				}
+				e := owned[int(a)%len(owned)]
+				id := idOf[e]
+				if e.Queued() {
+					model.remove(id)
+				} else {
+					// Re-inserting a fired handle is a fresh logical event.
+					idOf[e] = nextID
+					id = nextID
+					nextID++
+				}
+				q.Schedule(e, at)
+				model.push(id, at)
+			case 4: // remove an owned event
+				if len(owned) == 0 {
+					continue
+				}
+				e := owned[int(a)%len(owned)]
+				id, pending := idOf[e]
+				got := q.Remove(e)
+				if !pending {
+					// The handle already fired: Remove must decline.
+					if got {
+						t.Fatalf("Remove returned true for a fired event")
+					}
+					continue
+				}
+				want := model.remove(id)
+				if got != want {
+					t.Fatalf("Remove(event %d) = %v, model says %v", id, got, want)
+				}
+				if got {
+					delete(idOf, e)
+				}
+			case 5: // peek
+				want := model.min()
+				e := q.Peek()
+				if (e == nil) != (want == -1) {
+					t.Fatalf("Peek nil-ness disagrees with model (want event %d)", want)
+				}
+				if e != nil && idOf[e] != want {
+					t.Fatalf("Peek = event %d, model wants %d", idOf[e], want)
+				}
+			}
+		}
+		// Drain: the complete remaining order must match the model.
+		for q.Len() > 0 || model.min() != -1 {
+			popAndCheck()
+		}
+	})
+}
+
+// FuzzShardMerge drives a Sharded queue and a plain Queue through the
+// same operation sequence — every event pushed to some shard of one and
+// to the other — and requires identical pop order: the partition must
+// never change when an event fires, whatever the shard count, including
+// on cross-shard timestamp ties and events rescheduled across shards.
+// A final window phase checks the parallel-drain primitives: shard pops
+// stay below the horizon and in shard-local order, and the sequence
+// fold keeps post-window pushes globally ordered.
+func FuzzShardMerge(f *testing.F) {
+	f.Add(byte(2), []byte{})
+	// Cross-shard timestamp tie: two shards, same time, push order wins.
+	f.Add(byte(2), []byte{0, 0, 7, 0, 1, 7, 2, 0, 0, 2, 0, 0})
+	// Reschedule moves an event to another shard.
+	f.Add(byte(3), []byte{0, 0, 9, 3, 0, 70, 2, 0, 0})
+	// Global (control) events interleaved with shard events.
+	f.Add(byte(2), []byte{0, 2, 5, 0, 0, 5, 2, 0, 0, 2, 0, 0})
+	// Pooled events across shards with release/reuse.
+	f.Add(byte(4), []byte{1, 0, 3, 1, 1, 3, 2, 0, 0, 1, 2, 3, 2, 0, 0, 2, 0, 0})
+
+	f.Fuzz(func(t *testing.T, shardsByte byte, script []byte) {
+		nsh := 1 + int(shardsByte%4)
+		s := NewSharded(nsh)
+		var oracle Queue
+		type pair struct {
+			se, oe *Event
+			id     int
+		}
+		idOfS := map[*Event]*pair{}
+		var owned []*pair
+		nextID := 0
+		shardOf := func(b byte) int { return int(b) % (nsh + 1) } // includes Global
+
+		popBoth := func() {
+			se, oe := s.Pop(), oracle.Pop()
+			if (se == nil) != (oe == nil) {
+				t.Fatalf("Pop: sharded=%v oracle=%v", se != nil, oe != nil)
+			}
+			if se == nil {
+				return
+			}
+			p := idOfS[se]
+			if p == nil {
+				t.Fatalf("sharded Pop returned an unknown event")
+			}
+			if p.oe != oe {
+				t.Fatalf("pop order diverged: sharded popped event %d (at=%d), oracle popped at=%d",
+					p.id, se.At, oe.At)
+			}
+			if se.At != oe.At {
+				t.Fatalf("event %d times disagree: %d vs %d", p.id, se.At, oe.At)
+			}
+			delete(idOfS, se)
+			s.Release(se)
+			oracle.Release(oe)
+		}
+
+		for i := 0; i+2 < len(script); i += 3 {
+			op, a, b := script[i]%5, script[i+1], script[i+2]
+			at := Time(b % 64)
+			sh := shardOf(a)
+			switch op {
+			case 0: // owned push
+				p := &pair{id: nextID}
+				p.se = s.Push(sh, at, func(Time) {})
+				p.oe = oracle.Push(at, func(Time) {})
+				idOfS[p.se] = p
+				owned = append(owned, p)
+				nextID++
+			case 1: // pooled push
+				p := &pair{id: nextID}
+				p.se = s.PushPooled(sh, at, func(Time) {})
+				p.oe = oracle.PushPooled(at, func(Time) {})
+				idOfS[p.se] = p
+				nextID++
+			case 2:
+				popBoth()
+			case 3: // reschedule, possibly across shards
+				if len(owned) == 0 {
+					continue
+				}
+				p := owned[int(a)%len(owned)]
+				if !p.se.Queued() {
+					continue // fired handles of pooled pairs are recycled
+				}
+				newShard := shardOf(b >> 4)
+				s.Schedule(p.se, newShard, at)
+				oracle.Schedule(p.oe, at)
+			case 4: // remove
+				if len(owned) == 0 {
+					continue
+				}
+				p := owned[int(a)%len(owned)]
+				gotS, gotO := s.Remove(p.se), oracle.Remove(p.oe)
+				if gotS != gotO {
+					t.Fatalf("Remove(event %d): sharded=%v oracle=%v", p.id, gotS, gotO)
+				}
+				if gotS {
+					delete(idOfS, p.se)
+				}
+			}
+		}
+
+		// Window phase: drain what remains through the parallel-window
+		// primitives. The horizon is the earliest control event (or the
+		// end of time), exactly as the machine computes it.
+		horizon := Time(1 << 62)
+		if g := s.PeekGlobal(); g != nil {
+			horizon = g.At
+		}
+		s.BeginWindow()
+		for sh := 0; sh < s.Shards(); sh++ {
+			last := Time(-1 << 62)
+			repushed := false
+			for {
+				e := s.ShardPopBefore(sh, horizon)
+				if e == nil {
+					break
+				}
+				if e.At >= horizon {
+					t.Fatalf("shard %d popped event at %d beyond horizon %d", sh, e.At, horizon)
+				}
+				if e.At < last {
+					t.Fatalf("shard %d popped out of order: %d after %d", sh, e.At, last)
+				}
+				last = e.At
+				if !repushed {
+					// In-window scheduling onto the own shard must stay
+					// legal (once, so the drain terminates: the re-pushed
+					// event may itself be popped and is not re-pushed again).
+					repushed = true
+					s.PushPooled(sh, e.At+1, func(Time) {})
+				}
+				s.ShardRelease(e)
+			}
+			if h := s.ShardPeek(sh); h != nil && h.At < horizon {
+				t.Fatalf("shard %d still holds pre-horizon event at %d after drain", sh, h.At)
+			}
+		}
+		s.EndWindow()
+		// The sequence fold must keep post-window same-time pushes in
+		// push order across shards. Identity, not time, marks the probe
+		// events: leftover script events may share their timestamp.
+		var post []*Event
+		isPost := map[*Event]bool{}
+		for k := 0; k < 2*nsh; k++ {
+			e := s.Push(k%nsh, horizon+10, func(Time) {})
+			post = append(post, e)
+			isPost[e] = true
+		}
+		for k := 0; ; k++ {
+			e := s.Pop()
+			if e == nil {
+				break
+			}
+			if isPost[e] {
+				if e != post[0] {
+					t.Fatalf("post-window pop %d out of push order", k)
+				}
+				post = post[1:]
+			}
+		}
+		if len(post) != 0 {
+			t.Fatalf("%d post-window events never popped", len(post))
+		}
+	})
+}

@@ -59,6 +59,17 @@ type Context struct {
 	// The injector draws from each cell's seeded RNG, so perturbed
 	// tables remain bit-identical at every Parallelism.
 	Perturb perturb.Config
+	// Shards partitions every cell's simulator into per-socket event
+	// shards (sim.Config.Shards): 0/1 keeps the single queue, larger
+	// values are clamped to the machine's socket count. Results are
+	// bit-identical at every shard count — that invariant is what
+	// internal/difftest proves.
+	Shards int
+	// ShardParallel additionally lets shard-confined spans of each
+	// cell's simulation run on parallel goroutines (conservative
+	// lookahead windows). Outputs stay bit-identical; see
+	// sim.Config.ShardParallel for the isolation contract.
+	ShardParallel bool
 
 	// logMu serialises Logf writes: cells complete on worker
 	// goroutines, and experiments log from result callbacks while the

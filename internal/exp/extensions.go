@@ -66,7 +66,7 @@ func runExtSMT(ctx *Context) []*Table {
 	// Finishers block (MPI-style), freeing their hardware contexts;
 	// only the SMT-aware measure routes stragglers onto them.
 	spec := ScaleSpec(ctx, npb.EP.Spec(12,
-		spmd.Model{Name: "mpi-block", Policy: task.WaitBlock}, cpuset.Set(0)))
+		spmd.Model{Name: "mpi-block", Policy: task.WaitBlock}, cpuset.Set{}))
 	type cfgRow struct {
 		name string
 		cfg  *speedbal.Config

@@ -59,6 +59,11 @@ type RunOpts struct {
 	// noise, hotplug, frequency drift, interrupt storms) to the run. The
 	// Runner copies Context.Perturb here for cells that leave it inert.
 	Perturb perturb.Config
+	// Shards and ShardParallel select the sharded simulator engine
+	// (sim.Config fields of the same names). The Runner copies the
+	// Context values here for cells that leave them zero.
+	Shards        int
+	ShardParallel bool
 	// Limit caps the simulated time (default 2000 s).
 	Limit time.Duration
 	// Tracer, when non-nil, receives the run's scheduling events. The
@@ -94,7 +99,8 @@ type RunResult struct {
 // Run executes one measurement.
 func Run(o RunOpts) RunResult {
 	tp := o.Topo()
-	cfg := sim.Config{Seed: o.Seed, Tracer: o.Tracer, Metrics: o.Metrics}
+	cfg := sim.Config{Seed: o.Seed, Tracer: o.Tracer, Metrics: o.Metrics,
+		Shards: o.Shards, ShardParallel: o.ShardParallel}
 	var dwrrG *dwrr.Global
 	if o.Strategy == StratDWRR {
 		cfg.NewScheduler, dwrrG = dwrr.NewFactory(dwrr.DefaultConfig())
@@ -130,6 +136,12 @@ func Run(o RunOpts) RunResult {
 	}
 
 	app := spmd.Build(m, o.Spec)
+	// The stop-on-completion hook is a machine-global effect that can
+	// fire from whichever shard retires the app's last task, so this run
+	// must never open a parallel window (the sharded queue and its
+	// deterministic merge still apply). Long-running workloads that want
+	// windowed execution drive the machine directly (sim.Machine.Run).
+	m.BlockWindows()
 	app.OnDone(func(*spmd.App) { m.Stop() })
 	switch o.Strategy {
 	case StratPinned:
@@ -180,7 +192,7 @@ func Run(o RunOpts) RunResult {
 		res.SpeedbalMigrations = sb.Migrations
 	}
 	if dwrrG != nil {
-		res.Stats.Migrations["dwrr"] = dwrrG.Steals
+		res.Stats.Migrations["dwrr"] = dwrrG.Steals()
 	}
 	if !app.Done() {
 		// Surface truncation loudly: experiments must size Limit.

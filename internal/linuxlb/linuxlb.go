@@ -57,6 +57,17 @@ type Config struct {
 	// snapshots (the realistic default); accurate placement is an
 	// ablation.
 	StalePlacement bool
+	// Domain restricts the balancer to a core subset: only domain cores
+	// tick, balance, and exchange tasks, and sched groups are clipped to
+	// the domain — one Balancer instance per socket/shard models
+	// isolated scheduling domains (cpusets with sched_load_balance
+	// partitioning). Empty means the whole machine. When the domain is
+	// contained in one simulation shard, the per-core tick timers ride
+	// the shard queues, so balancing no longer bounds conservative
+	// lookahead and runs inside parallel windows. A domain-restricted
+	// instance does not install itself as the fork placer (placement is
+	// machine-global); StalePlacement is ignored.
+	Domain cpuset.Set
 }
 
 // DefaultConfig returns the 2.6.28-like defaults.
@@ -78,7 +89,10 @@ type Balancer struct {
 	m   *sim.Machine
 	rng *xrand.RNG
 
-	cores []*coreState
+	// domain is the resolved balancing scope (Config.Domain or all
+	// cores); cores holds state for domain members only (nil elsewhere).
+	domain cpuset.Set
+	cores  []*coreState
 
 	// Pulls / Pushes / ActivePushes count balancing actions for tests
 	// and experiment reporting.
@@ -136,9 +150,30 @@ func Default() *Balancer { return New(DefaultConfig()) }
 func (b *Balancer) Start(m *sim.Machine) {
 	b.m = m
 	b.rng = m.RNG()
+	b.domain = b.cfg.Domain
+	if b.domain.Empty() {
+		b.domain = m.Topo.AllCores()
+	}
+	// A tick may ride the core's shard queue — and so run inside
+	// parallel windows — only when everything the tick can read or move
+	// (the whole domain) lives in one shard.
+	shardLocal := true
+	shard := -1
+	b.domain.ForEach(func(id int) bool {
+		if shard < 0 {
+			shard = m.ShardOf(id)
+		} else if m.ShardOf(id) != shard {
+			shardLocal = false
+			return false
+		}
+		return true
+	})
 	n := len(m.Cores)
 	b.cores = make([]*coreState, n)
 	for i := 0; i < n; i++ {
+		if !b.domain.Has(i) {
+			continue
+		}
 		cs := &coreState{
 			nextBalance: make([]int64, len(m.Topo.Levels)),
 			failed:      make([]int, len(m.Topo.Levels)),
@@ -152,13 +187,18 @@ func (b *Balancer) Start(m *sim.Machine) {
 		// Stagger ticks across cores as real timer interrupts are.
 		off := b.rng.Jitter(int64(b.cfg.Tick))
 		core := m.Cores[i]
-		cs.tick = m.NewTimer(func(now int64) {
+		fn := func(now int64) {
 			b.tick(core, now)
 			cs.tick.Schedule(now + int64(b.cfg.Tick))
-		})
+		}
+		if shardLocal {
+			cs.tick = m.NewCoreTimer(i, fn)
+		} else {
+			cs.tick = m.NewTimer(fn)
+		}
 		cs.tick.Schedule(m.Now() + off)
 	}
-	if b.cfg.StalePlacement {
+	if b.cfg.StalePlacement && b.cfg.Domain.Empty() {
 		m.SetPlacer(b)
 	}
 	m.OnIdle(b.newIdle)
@@ -169,7 +209,7 @@ func (b *Balancer) Start(m *sim.Machine) {
 // singletons at the innermost level. This mirrors the kernel structure
 // where a domain's sched_groups are its child domains.
 func (b *Balancer) buildLevel(id, li int) levelGroups {
-	span := b.m.Topo.Levels[li].GroupOf(id)
+	span := b.m.Topo.Levels[li].GroupOf(id).Intersect(b.domain)
 	lg := levelGroups{local: -1, span: span.Cores()}
 	add := func(g cpuset.Set) {
 		if g.Has(id) {
@@ -184,7 +224,7 @@ func (b *Balancer) buildLevel(id, li int) levelGroups {
 		return lg
 	}
 	for _, g := range b.m.Topo.Levels[li-1].Groups {
-		if span.Contains(g) {
+		if g = g.Intersect(span); !g.Empty() {
 			add(g)
 		}
 	}
@@ -446,7 +486,10 @@ func (b *Balancer) findBusiestQueue(c *sim.Core, group *groupInfo, newIdle bool)
 // respecting affinity. Returns the number of tasks moved.
 func (b *Balancer) moveTasks(src, dst *sim.Core, amount int64, force bool) int {
 	moved := 0
-	now := b.m.Now()
+	// The destination core's clock, not Machine.Now: inside a parallel
+	// window the machine clock lags the shard clock this pass runs on
+	// (src and dst share a shard whenever a window is open).
+	now := dst.Now()
 	for amount > 0 {
 		var pick *task.Task
 		src.Scheduler().EachQueued(func(t *task.Task) bool {
@@ -508,6 +551,9 @@ func (b *Balancer) activeBalance(busiest *sim.Core, li int) {
 // newIdle is the SD_BALANCE_NEWIDLE hook: a core that just emptied pulls
 // one task, walking levels innermost first.
 func (b *Balancer) newIdle(c *sim.Core) {
+	if !b.domain.Has(c.ID()) {
+		return
+	}
 	for li := range b.m.Topo.Levels {
 		l := &b.m.Topo.Levels[li]
 		if !l.NewIdle {
@@ -526,7 +572,7 @@ func (b *Balancer) newIdle(c *sim.Core) {
 func (b *Balancer) Place(m *sim.Machine, t *task.Task) int {
 	best, bestLoad := -1, int64(0)
 	for _, c := range m.Cores {
-		if !c.Online() || !t.Affinity.Has(c.ID()) {
+		if !c.Online() || !t.Affinity.Has(c.ID()) || b.cores[c.ID()] == nil {
 			continue
 		}
 		l := b.cores[c.ID()].staleLoad
@@ -540,7 +586,7 @@ func (b *Balancer) Place(m *sim.Machine, t *task.Task) int {
 		// the idlest online core.
 		t.Affinity = m.Topo.AllCores()
 		for _, c := range m.Cores {
-			if !c.Online() {
+			if !c.Online() || b.cores[c.ID()] == nil {
 				continue
 			}
 			l := b.cores[c.ID()].staleLoad

@@ -37,6 +37,7 @@ import (
 	"repro/internal/cfs"
 	"repro/internal/cpuset"
 	"repro/internal/exp"
+	"repro/internal/linuxlb"
 	"repro/internal/metrics"
 	"repro/internal/perturb"
 	"repro/internal/sim"
@@ -130,6 +131,11 @@ func Suite() []Spec {
 			Desc:  "the wake scenario with the full fault-injection mix active",
 			bench: perturbBench,
 		},
+		{
+			Name:  "fab1k",
+			Desc:  "1,024-core fabric: 16 socket-pinned apps on 16 parallel event shards",
+			bench: fabric1kBench,
+		},
 		experimentCase("fig2", "round-robin vs load-balanced placement sweep"),
 		experimentCase("fig3t", "speedup of NAS-like benchmarks under the balancers"),
 		experimentCase("fig5", "multiprogrammed speedup"),
@@ -219,6 +225,59 @@ func perturbBench(b *testing.B) int64 {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m.RunFor(100 * time.Millisecond)
+	}
+	b.StopTimer()
+	return int64(m.Stats.Events - before)
+}
+
+// fabric1kSetup assembles the datacenter-scale sharded scenario: a
+// 16-socket × 64-core fabric (1,024 cores), one pinned 64-thread
+// UPC-sleep app per socket, and a Linux balancer instance per socket
+// domain, on 16 event shards with parallel lookahead windows. Every
+// task, barrier and balancer is socket-contained, so the simulation runs
+// almost entirely inside parallel windows — the configuration the
+// 1,024-core throughput case exists to gate.
+func fabric1kSetup() *sim.Machine {
+	tp := topo.Fabric(16, 64)
+	m := sim.New(tp, sim.Config{Seed: suiteSeed, NewScheduler: cfs.Factory(),
+		Shards: 16, ShardParallel: true})
+	perSocket := make([]cpuset.Set, 16)
+	for _, ci := range tp.Cores {
+		perSocket[ci.Socket] = perSocket[ci.Socket].Add(ci.ID)
+	}
+	for s, set := range perSocket {
+		lcfg := linuxlb.DefaultConfig()
+		lcfg.Domain = set
+		m.AddActor(linuxlb.New(lcfg))
+		app := spmd.Build(m, spmd.Spec{
+			Name:             fmt.Sprintf("sock%02d", s),
+			Threads:          set.Count(),
+			Iterations:       1 << 30,
+			WorkPerIteration: float64(300 * time.Microsecond),
+			WorkJitter:       0.3,
+			MemIntensity:     0.4,
+			RSSBytes:         1 << 20,
+			Model:            spmd.UPCSleep(),
+			Affinity:         set,
+		})
+		app.StartPinned()
+	}
+	return m
+}
+
+// fabric1kBench measures end-to-end sharded throughput at 1,024 cores:
+// one op advances the fabric1kSetup steady state by 10 ms of simulated
+// time. The events/s figure is the scale headline; the ns_norm and
+// allocs gates catch regressions in the shard merge and window machinery
+// that the paper-sized cases cannot see.
+func fabric1kBench(b *testing.B) int64 {
+	m := fabric1kSetup()
+	m.RunFor(100 * time.Millisecond) // reach steady state
+	before := m.Stats.Events
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.RunFor(10 * time.Millisecond)
 	}
 	b.StopTimer()
 	return int64(m.Stats.Events - before)

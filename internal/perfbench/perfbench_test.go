@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func report(cases ...Case) *Report {
@@ -115,9 +116,30 @@ func TestSuiteShape(t *testing.T) {
 			t.Errorf("case %q has no bench function", s.Name)
 		}
 	}
-	for _, name := range []string{"wake", "fig2", "fig3t", "fig5", "abl-int"} {
+	for _, name := range []string{"wake", "fig2", "fig3t", "fig5", "abl-int", "fab1k"} {
 		if !seen[name] {
 			t.Errorf("suite is missing the %q case", name)
 		}
+	}
+}
+
+// The 1,024-core case must actually exercise the sharded engine: if the
+// parallel lookahead windows never open (an affinity or balancer-scope
+// slip), the bench silently measures the sequential merge and the scale
+// gate means nothing.
+func TestFabric1kWindowsOpen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a 1,024-core machine")
+	}
+	m := fabric1kSetup()
+	m.RunFor(50 * time.Millisecond)
+	if m.Stats.Events == 0 {
+		t.Fatal("fabric1k machine processed no events")
+	}
+	if m.Windows() == 0 {
+		t.Fatal("fabric1k ran entirely outside parallel windows — the shard scope of an app or balancer is broken")
+	}
+	if frac := float64(m.WindowEvents()) / float64(m.Stats.Events); frac < 0.5 {
+		t.Errorf("only %.0f%% of events ran inside windows, want most", frac*100)
 	}
 }

@@ -77,7 +77,7 @@ func TestNoiseDelaysWork(t *testing.T) {
 	if tk.State != task.Done {
 		t.Fatalf("task did not finish under noise")
 	}
-	if in.NoiseBursts == 0 {
+	if in.NoiseBursts() == 0 {
 		t.Fatalf("no noise bursts injected")
 	}
 	if tk.FinishedAt <= 100e6 {
@@ -116,8 +116,8 @@ func TestKthreadNoiseIsSchedulable(t *testing.T) {
 	if kw.Sched.Weight != task.NiceWeight(-20) {
 		t.Errorf("kworker weight %d, want nice -20 weight %d", kw.Sched.Weight, task.NiceWeight(-20))
 	}
-	if in.NoiseBursts == 0 || kw.ExecTime == 0 {
-		t.Errorf("kworker never ran: bursts %d, exec %v", in.NoiseBursts, kw.ExecTime)
+	if in.NoiseBursts() == 0 || kw.ExecTime == 0 {
+		t.Errorf("kworker never ran: bursts %d, exec %v", in.NoiseBursts(), kw.ExecTime)
 	}
 	if app.FinishedAt <= 100e6 {
 		t.Errorf("app finished at %v despite daemon competition; want > 100ms", time.Duration(app.FinishedAt))
@@ -168,7 +168,7 @@ func TestFreqWalkStaysBounded(t *testing.T) {
 	tasks := computeTasks(m, 2, 100e6)
 	m.Run(int64(30 * time.Second))
 	m.Sync()
-	if in.FreqSteps == 0 {
+	if in.FreqSteps() == 0 {
 		t.Fatalf("no frequency steps injected")
 	}
 	if len(rec.factors) == 0 {
@@ -226,7 +226,7 @@ func fingerprint(seed uint64) []int64 {
 	tasks := computeTasks(m, 6, 40e6)
 	m.Run(int64(30 * time.Second))
 	m.Sync()
-	fp := []int64{int64(in.NoiseBursts), int64(in.Hotplugs), int64(in.FreqSteps), int64(in.Storms), m.Now()}
+	fp := []int64{int64(in.NoiseBursts()), int64(in.Hotplugs), int64(in.FreqSteps()), int64(in.Storms), m.Now()}
 	for _, tk := range tasks {
 		fp = append(fp, tk.FinishedAt, int64(tk.ExecTime))
 	}

@@ -16,6 +16,10 @@ type Core struct {
 	id   int
 	info *topo.CoreInfo
 	m    *Machine
+	// shard is the event-queue shard owning this core's events; sh is
+	// that shard's mutable state (clock, window counters).
+	shard int
+	sh    *shardState
 
 	sched Scheduler
 	cur   *task.Task
@@ -42,6 +46,16 @@ type Core struct {
 	// memDomain is the index of the core's memory-bandwidth domain in
 	// Topo.MemDomains, -1 when no contention model is configured.
 	memDomain int
+	// Contention neighbourhoods, precomputed at New so the effSpeed and
+	// settle/rearm hot paths walk small int slices instead of decoding
+	// affinity-mask words: smtMates are the other hardware contexts of
+	// this physical core; memCores are all cores of this core's memory
+	// domain (self included — the demand sum wants it); shareMates is
+	// smtMates ∪ (memCores minus self minus smtMates), the cores whose
+	// effective speed depends on this core's occupancy.
+	smtMates   []int32
+	memCores   []int32
+	shareMates []int32
 
 	// online reports whether the core participates in scheduling. An
 	// offline core runs nothing and accrues neither busy nor idle time;
@@ -77,6 +91,15 @@ type Core struct {
 	StolenTime time.Duration
 }
 
+// clk returns the simulation clock governing this core: the machine
+// clock, or the core's shard clock inside a parallel window.
+func (c *Core) clk() int64 {
+	if c.m.window {
+		return c.sh.now
+	}
+	return c.m.now
+}
+
 // ID returns the core's logical CPU number.
 func (c *Core) ID() int { return c.id }
 
@@ -92,6 +115,12 @@ func (c *Core) Current() *task.Task { return c.cur }
 
 // Idle reports whether the core has no task to run.
 func (c *Core) Idle() bool { return c.cur == nil }
+
+// Now returns the clock governing this core: the machine clock, or the
+// core's shard clock inside a parallel window. Shard-confined code
+// (core-routed timers, idle hooks) must read time through this instead
+// of Machine.Now, which lags the shard clocks mid-window.
+func (c *Core) Now() int64 { return c.clk() }
 
 // Online reports whether the core participates in scheduling.
 func (c *Core) Online() bool { return c.online }
@@ -109,7 +138,7 @@ func (c *Core) Stolen() float64 { return c.stolen }
 // user-level balancer may difference it across a sampling window to
 // estimate how much CPU a newcomer would actually receive.
 func (c *Core) StolenWall() time.Duration {
-	return c.stolenWall + time.Duration(float64(c.m.now-c.stolenMark)*c.stolen)
+	return c.stolenWall + time.Duration(float64(c.clk()-c.stolenMark)*c.stolen)
 }
 
 // NrRunnable returns the run-queue length including the running task —
@@ -123,7 +152,7 @@ func (c *Core) Queued() []*task.Task { return c.sched.Queued() }
 // idle→busy transition).
 func (c *Core) IdleTime() time.Duration {
 	if c.idle {
-		return c.idleTime + time.Duration(c.m.now-c.idleSince)
+		return c.idleTime + time.Duration(c.clk()-c.idleSince)
 	}
 	return c.idleTime
 }
@@ -142,23 +171,21 @@ func (c *Core) effSpeed(t *task.Task) float64 {
 	if c.m.Topo.RemoteMemoryPenalty > 0 && t.HomeNode >= 0 && t.HomeNode != c.info.Node {
 		s /= 1 + c.m.Topo.RemoteMemoryPenalty*t.MemIntensity
 	}
-	if c.info.SMTSiblings.Count() > 1 {
-		for _, sid := range c.info.SMTSiblings.Cores() {
-			if sid != c.id && c.m.Cores[sid].cur != nil {
-				s *= c.m.cfg.SMTContentionFactor
-				break
-			}
+	for _, sid := range c.smtMates {
+		if c.m.Cores[sid].cur != nil {
+			s *= c.m.cfg.SMTContentionFactor
+			break
 		}
 	}
 	if t.MemIntensity > 0 && t.Cur.Kind == task.ExecCompute && c.memDomain >= 0 {
 		d := &c.m.Topo.MemDomains[c.memDomain]
 		demand := 0.0
-		for _, id := range d.Cores.Cores() {
+		for _, id := range c.memCores {
 			// Only computing tasks stress the memory path: a thread
 			// spinning at a barrier issues no memory traffic.
 			if o := c.m.Cores[id].cur; o != nil && o.Cur.Kind == task.ExecCompute {
 				demand += o.MemIntensity
-			} else if o == nil && id == c.id {
+			} else if o == nil && int(id) == c.id {
 				// Called before c.cur is set (scheduleStop timing):
 				// count t itself.
 				demand += t.MemIntensity
@@ -178,7 +205,7 @@ func (c *Core) effSpeed(t *task.Task) float64 {
 // check budget. Safe to call at any time.
 func (c *Core) account() {
 	t := c.cur
-	now := c.m.now
+	now := c.clk()
 	if t == nil || c.runStart >= now {
 		return
 	}
@@ -243,7 +270,7 @@ func (c *Core) dispatch() {
 		if t == nil {
 			if !c.idle {
 				c.idle = true
-				c.idleSince = c.m.now
+				c.idleSince = c.clk()
 			}
 			for _, fn := range c.m.idleFns {
 				fn(c)
@@ -260,14 +287,14 @@ func (c *Core) dispatch() {
 // begin starts running t. It only mutates core/task state and schedules
 // the stop event; program advancement happens in event context (onStop).
 func (c *Core) begin(t *task.Task) {
-	now := c.m.now
+	now := c.clk()
 	if c.idle {
 		c.idleTime += time.Duration(now - c.idleSince)
 		c.idle = false
 	}
 	c.m.settleShared(c)
 	if t != c.lastRun {
-		c.m.Stats.ContextSwitches++
+		c.m.statsFor(c.id).ContextSwitches++
 		c.lastRun = t
 	}
 	t.State = task.Running
@@ -288,7 +315,7 @@ func (c *Core) requestStop() {
 		return
 	}
 	c.needResched = true
-	c.armStop(c.m.now)
+	c.armStop(c.clk())
 }
 
 // refreshStop re-derives the stop event after queue conditions changed
@@ -307,7 +334,7 @@ func (c *Core) refreshStop() {
 // arms nothing; external events (enqueue, release) will intervene.
 func (c *Core) scheduleStop() {
 	t := c.cur
-	now := c.m.now
+	now := c.clk()
 	if c.needResched {
 		c.armStop(now)
 		return
@@ -376,21 +403,21 @@ func (c *Core) scheduleStop() {
 // events (noise ending) intervene.
 func (c *Core) wallAfter(need int64) int64 {
 	if c.stolen <= 0 {
-		return c.m.now + need
+		return c.clk() + need
 	}
 	if c.stolen >= 1 {
 		return int64(math.MaxInt64)
 	}
-	return c.m.now + int64(math.Ceil(float64(need)/(1-c.stolen)))
+	return c.clk() + int64(math.Ceil(float64(need)/(1-c.stolen)))
 }
 
 // armStop (re)schedules the core's stop event, moving it if already
 // pending.
 func (c *Core) armStop(at int64) {
-	if at < c.m.now {
-		at = c.m.now
+	if now := c.clk(); at < now {
+		at = now
 	}
-	c.m.events.Schedule(c.stopEv, at)
+	c.m.events.Schedule(c.stopEv, c.shard, at)
 }
 
 // onStop is the single place tasks make progress through their programs:
@@ -472,7 +499,7 @@ func (c *Core) onStop() {
 				}
 			}
 			t.Cur.PollBackoff = backoff
-			t.Cur.WakeAt = c.m.now + int64(backoff)
+			t.Cur.WakeAt = c.clk() + int64(backoff)
 			c.m.sleepUntil(t, t.Cur.WakeAt)
 			return
 		}
@@ -532,7 +559,7 @@ func (c *Core) advanceCurrent() {
 // the occupancy change alters their contention factors.
 func (c *Core) stopCurrent() {
 	if c.m.tracer != nil && c.cur != nil {
-		if d := c.m.now - c.stintStart; d > 0 {
+		if d := c.clk() - c.stintStart; d > 0 {
 			c.m.Emit(trace.Event{Kind: trace.KindRunStint, Core: c.id,
 				Task: c.cur.ID, TaskName: c.cur.Name, Dur: d})
 		}

@@ -15,8 +15,10 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
+	"repro/internal/cpuset"
 	"repro/internal/eventq"
 	"repro/internal/metrics"
 	"repro/internal/task"
@@ -97,6 +99,29 @@ type Config struct {
 	// Metrics receives run counters and distributions. Nil disables
 	// metric collection.
 	Metrics *metrics.Registry
+	// Shards partitions the machine into per-socket event-queue shards:
+	// core-bound events (stop events, task sleep timers, core timers)
+	// live on their core's shard queue, everything else on the global
+	// control queue. The partition never changes simulation results —
+	// events still fire in the exact (time, scheduling-order) sequence of
+	// a single queue — it only enables the parallel fast path below.
+	// Values are clamped to the socket count; 0 or 1 means one shard.
+	Shards int
+	// ShardParallel lets Run advance shards on parallel goroutines
+	// between global events (conservative-lookahead windows), when the
+	// run is provably shard-isolated: no tracer, no metrics, every live
+	// task confined (by affinity) to one shard. By setting it the caller
+	// additionally asserts that registered hooks and task programs are
+	// shard-confined — they touch only the firing task's shard, never
+	// call Stop/NewTask/RNG mid-run, and synchronize (barriers,
+	// releases) only within a shard. The simulator panics on the
+	// violations it can detect. Results are byte-identical with the flag
+	// on or off; only wall-clock time changes.
+	ShardParallel bool
+	// WindowMin is the minimum sync-horizon span worth parallelising
+	// (default 20 µs of simulated time); shorter windows run
+	// sequentially to amortize goroutine coordination.
+	WindowMin time.Duration
 }
 
 func (c *Config) fill() {
@@ -115,6 +140,26 @@ func (c *Config) fill() {
 	if c.YieldGroupCheck == 0 {
 		c.YieldGroupCheck = time.Millisecond
 	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.WindowMin == 0 {
+		c.WindowMin = 20 * time.Microsecond
+	}
+}
+
+// shardState is the mutable per-shard context of the event loop: the
+// shard's clock and the counter deltas its worker accumulates during a
+// parallel window, folded into the machine totals in shard order when the
+// window closes. Padded so concurrent workers never share a cache line.
+type shardState struct {
+	// now is the shard-local clock. Outside a parallel window it is
+	// meaningless (the machine clock rules); inside one it tracks the
+	// shard's own event stream and never crosses the window horizon.
+	now   int64
+	stats Stats
+	live  int // delta: tasks exited in this shard during the window
+	_     [64]byte
 }
 
 // Machine is the simulated multicore system.
@@ -124,7 +169,7 @@ type Machine struct {
 	Stats Stats
 
 	cfg      Config
-	events   eventq.Queue
+	events   *eventq.Sharded
 	now      int64
 	rng      *xrand.RNG
 	tasks    []*task.Task
@@ -148,6 +193,35 @@ type Machine struct {
 	// one outstanding sleep at a time, so each task's timer and callback
 	// closure are allocated exactly once.
 	sleepTimers []*eventq.Event
+
+	// Shard layout (fixed at New): socket-aligned so every SMT pair and
+	// memory domain lives inside one shard, keeping contention models
+	// shard-local. shardOf maps core → shard; shardCores is the inverse.
+	nShards    int
+	shardOf    []int32
+	shardCores []cpuset.Set
+	shardStates []shardState
+	// shardClosed records whether SMT siblings and memory domains are
+	// contained in single shards — a precondition of parallel windows
+	// (always true for socket-aligned partitions of sane topologies).
+	shardClosed bool
+	// window is true while shard workers drain their queues in parallel.
+	// Written only between windows; in-window code reads it to pick the
+	// shard clock over the machine clock.
+	window bool
+	// windows and windowEvents count parallel windows opened and the
+	// events they processed — observability for tests and benchmarks (a
+	// sharded run that never opens a window is a silent perf bug).
+	windows      int
+	windowEvents int
+	// windowsBlocked permanently disables parallel windows: set via
+	// BlockWindows by users whose callbacks have machine-global effects
+	// the isolation preconditions cannot see (e.g. a stop-on-completion
+	// hook).
+	windowsBlocked bool
+	// groupShard is tryWindow's scratch map for the app-containment
+	// check, kept across calls to avoid a per-horizon allocation.
+	groupShard map[string]int32
 }
 
 // New builds a machine over the topology. The scheduler factory in cfg is
@@ -168,9 +242,13 @@ func New(tp *topo.Topology, cfg Config) *Machine {
 		metrics: cfg.Metrics,
 	}
 	m.Stats.Migrations = make(map[string]int)
+	m.partition(cfg.Shards)
+	m.events = eventq.NewSharded(m.nShards)
 	for i := range tp.Cores {
 		c := &Core{id: i, info: &tp.Cores[i], m: m, memDomain: tp.MemDomainOf(i),
-			online: true, freq: 1}
+			online: true, freq: 1,
+			shard: int(m.shardOf[i])}
+		c.sh = &m.shardStates[c.shard]
 		c.sched = cfg.NewScheduler(i)
 		c.sched.Attach(m, i)
 		// The stop event is the single hottest timer: it is re-armed on
@@ -179,9 +257,115 @@ func New(tp *topo.Topology, cfg Config) *Machine {
 		c.stopEv = eventq.NewEvent(func(now int64) { c.onStop() })
 		m.Cores = append(m.Cores, c)
 	}
+	for _, c := range m.Cores {
+		for _, sid := range c.info.SMTSiblings.Cores() {
+			if sid != c.id {
+				c.smtMates = append(c.smtMates, int32(sid))
+				c.shareMates = append(c.shareMates, int32(sid))
+			}
+		}
+		if c.memDomain >= 0 {
+			for _, sid := range tp.MemDomains[c.memDomain].Cores.Cores() {
+				c.memCores = append(c.memCores, int32(sid))
+				if sid != c.id && !c.info.SMTSiblings.Has(sid) {
+					c.shareMates = append(c.shareMates, int32(sid))
+				}
+			}
+		}
+	}
 	m.nOnline = len(m.Cores)
 	m.placer = leastLoadedPlacer{}
 	return m
+}
+
+// partition computes the socket-aligned shard layout: sockets are dealt
+// to shards in balanced contiguous runs, and every core inherits its
+// socket's shard. Sharding never alters results — it only decides which
+// sub-queue holds a core's events — so a shard count above the socket
+// count is simply clamped.
+func (m *Machine) partition(want int) {
+	tp := m.Topo
+	// Sockets in first-appearance order (== ascending on sane machines).
+	var sockets []int
+	sockOf := make(map[int]int) // socket id → dense index
+	for i := range tp.Cores {
+		s := tp.Cores[i].Socket
+		if _, ok := sockOf[s]; !ok {
+			sockOf[s] = len(sockets)
+			sockets = append(sockets, s)
+		}
+	}
+	n := want
+	if n > len(sockets) {
+		n = len(sockets)
+	}
+	m.nShards = n
+	m.shardOf = make([]int32, len(tp.Cores))
+	m.shardCores = make([]cpuset.Set, n)
+	m.shardStates = make([]shardState, n+1) // +1: slot for the control queue
+	for i := range tp.Cores {
+		sh := int32(sockOf[tp.Cores[i].Socket] * n / len(sockets))
+		m.shardOf[i] = sh
+		m.shardCores[sh] = m.shardCores[sh].Add(i)
+	}
+	// Closure check for parallel windows: contention couplings (SMT
+	// siblings, memory domains) must not straddle shards, or concurrent
+	// workers would read each other's occupancy.
+	m.shardClosed = true
+	for i := range tp.Cores {
+		contained := false
+		for _, s := range m.shardCores {
+			if s.Contains(tp.Cores[i].SMTSiblings) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			m.shardClosed = false
+			return
+		}
+	}
+	for _, d := range tp.MemDomains {
+		contained := false
+		for _, s := range m.shardCores {
+			if s.Contains(d.Cores) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			m.shardClosed = false
+			return
+		}
+	}
+}
+
+// Shards returns the number of event-queue shards (1 when unsharded).
+func (m *Machine) Shards() int { return m.nShards }
+
+// ShardOf returns the shard owning the core's events.
+func (m *Machine) ShardOf(core int) int { return int(m.shardOf[core]) }
+
+// ShardCores returns the cores of one shard.
+func (m *Machine) ShardCores(shard int) cpuset.Set { return m.shardCores[shard] }
+
+// clock returns the simulation clock governing the given core: the
+// machine clock, or the core's shard clock inside a parallel window.
+func (m *Machine) clock(core int) int64 {
+	if m.window {
+		return m.shardStates[m.shardOf[core]].now
+	}
+	return m.now
+}
+
+// statsFor returns the Stats sink for events on the given core: the
+// machine totals, or the shard's delta block inside a parallel window
+// (folded into the totals, in shard order, when the window closes).
+func (m *Machine) statsFor(core int) *Stats {
+	if m.window {
+		return &m.shardStates[m.shardOf[core]].stats
+	}
+	return &m.Stats
 }
 
 // Now returns the current simulation time in nanoseconds. It implements
@@ -210,8 +394,15 @@ func (m *Machine) Emit(e trace.Event) {
 func (m *Machine) Metrics() *metrics.Registry { return m.metrics }
 
 // RNG returns a generator split off the machine stream; each caller gets
-// an independent stream so actors do not perturb one another.
-func (m *Machine) RNG() *xrand.RNG { return m.rng.Split() }
+// an independent stream so actors do not perturb one another. Splitting
+// mutates the machine stream, so it must happen at setup or from global
+// events — never inside a parallel shard window.
+func (m *Machine) RNG() *xrand.RNG {
+	if m.window {
+		panic("sim: RNG split inside a parallel shard window")
+	}
+	return m.rng.Split()
+}
 
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
@@ -219,12 +410,26 @@ func (m *Machine) Config() Config { return m.cfg }
 // Tasks returns all tasks ever added, in creation order.
 func (m *Machine) Tasks() []*task.Task { return m.tasks }
 
-// At schedules fn to run at absolute time at (clamped to now).
+// At schedules fn to run at absolute time at (clamped to now). The event
+// lands on the global control queue: it may touch any shard, so it is a
+// synchronization horizon for parallel windows. Core-confined callbacks
+// should prefer AtOn.
 func (m *Machine) At(at int64, fn func(now int64)) *eventq.Event {
 	if at < m.now {
 		at = m.now
 	}
-	return m.events.Push(at, fn)
+	return m.events.Push(m.events.Global(), at, fn)
+}
+
+// AtOn schedules fn at absolute time at (clamped to the core's clock) on
+// the core's shard queue. The callback must confine itself to that
+// core's shard; in exchange it does not bound conservative lookahead,
+// so shards keep advancing in parallel across it.
+func (m *Machine) AtOn(core int, at int64, fn func(now int64)) *eventq.Event {
+	if now := m.clock(core); at < now {
+		at = now
+	}
+	return m.events.Push(int(m.shardOf[core]), at, fn)
 }
 
 // atPooled schedules a fire-and-forget callback whose handle is
@@ -234,7 +439,7 @@ func (m *Machine) atPooled(at int64, fn func(now int64)) {
 	if at < m.now {
 		at = m.now
 	}
-	m.events.PushPooled(at, fn)
+	m.events.PushPooled(m.events.Global(), at, fn)
 }
 
 // After schedules fn to run d from now.
@@ -250,26 +455,46 @@ func (m *Machine) Cancel(e *eventq.Event) { m.events.Remove(e) }
 // queue without allocating. Periodic actors (balancer wakes, scheduler
 // ticks) should prefer a Timer over repeated At calls.
 type Timer struct {
-	m  *Machine
-	ev *eventq.Event
+	m     *Machine
+	ev    *eventq.Event
+	shard int
 }
 
-// NewTimer creates an unscheduled reusable timer.
+// NewTimer creates an unscheduled reusable timer on the global control
+// queue: its callback may touch any core, and every firing is a
+// synchronization horizon for parallel windows.
 func (m *Machine) NewTimer(fn func(now int64)) *Timer {
-	return &Timer{m: m, ev: eventq.NewEvent(fn)}
+	return &Timer{m: m, ev: eventq.NewEvent(fn), shard: m.events.Global()}
+}
+
+// NewCoreTimer creates an unscheduled reusable timer bound to the core's
+// shard queue. The callback must confine itself to that core's shard
+// (its run queue, its tasks, its SMT and memory-domain mates); in
+// exchange the timer does not bound conservative lookahead. Per-core
+// scheduler ticks and per-core balancer sampling belong here.
+func (m *Machine) NewCoreTimer(core int, fn func(now int64)) *Timer {
+	return &Timer{m: m, ev: eventq.NewEvent(fn), shard: int(m.shardOf[core])}
+}
+
+// now returns the clock governing the timer's shard.
+func (t *Timer) now() int64 {
+	if t.m.window {
+		return t.m.shardStates[t.shard].now
+	}
+	return t.m.now
 }
 
 // Schedule (re)schedules the timer at absolute time at (clamped to now).
 // If the timer is already pending it is moved, not duplicated.
 func (t *Timer) Schedule(at int64) {
-	if at < t.m.now {
-		at = t.m.now
+	if now := t.now(); at < now {
+		at = now
 	}
-	t.m.events.Schedule(t.ev, at)
+	t.m.events.Schedule(t.ev, t.shard, at)
 }
 
 // ScheduleAfter schedules the timer d from now.
-func (t *Timer) ScheduleAfter(d time.Duration) { t.Schedule(t.m.now + int64(d)) }
+func (t *Timer) ScheduleAfter(d time.Duration) { t.Schedule(t.now() + int64(d)) }
 
 // Stop cancels the timer if pending.
 func (t *Timer) Stop() { t.m.events.Remove(t.ev) }
@@ -307,6 +532,11 @@ func (m *Machine) OnlineCores() int { return m.nOnline }
 // offline are redirected when they wake. Unplugging the last online
 // core panics. No-op when the core is already in the requested state.
 func (m *Machine) SetCoreOnline(core int, online bool) {
+	if m.window {
+		// Hotplug re-places tasks across the whole machine; it can only
+		// run from a global event, never from inside a window.
+		panic("sim: SetCoreOnline inside a parallel shard window")
+	}
 	c := m.Cores[core]
 	if c.online == online {
 		return
@@ -440,8 +670,9 @@ func (m *Machine) SetCoreStolen(core int, s float64) {
 	c.account()
 	// Fold the closing segment into the wall-clock steal integral
 	// (StolenWall) before the fraction changes.
-	c.stolenWall += time.Duration(float64(m.now-c.stolenMark) * c.stolen)
-	c.stolenMark = m.now
+	now := m.clock(core)
+	c.stolenWall += time.Duration(float64(now-c.stolenMark) * c.stolen)
+	c.stolenMark = now
 	c.stolen = s
 	if c.cur != nil {
 		c.scheduleStop()
@@ -452,6 +683,25 @@ func (m *Machine) SetCoreStolen(core int, s float64) {
 // machine with zero live tasks has drained its workload: no running
 // program remains to spawn more.
 func (m *Machine) LiveTasks() int { return m.live }
+
+// Windows reports how many parallel shard windows the run has opened;
+// WindowEvents reports how many events those windows processed. Both are
+// zero for sequential runs — a sharded-parallel run that stays at zero
+// means the isolation preconditions never held.
+func (m *Machine) Windows() int { return m.windows }
+
+// WindowEvents reports the events processed inside parallel windows.
+func (m *Machine) WindowEvents() int { return m.windowEvents }
+
+// BlockWindows permanently disables parallel lookahead windows on this
+// machine. Callers must invoke it when they register a callback with
+// machine-global effects that tryWindow's isolation preconditions
+// cannot detect — the canonical case is a stop-on-completion hook
+// (Stop inside a window would truncate other shards' already-fired
+// events, so such a run can only be executed sequentially). The sharded
+// event queue and its deterministic merge stay active; only the
+// parallel drain is withheld.
+func (m *Machine) BlockWindows() { m.windowsBlocked = true }
 
 // PendingEvents returns the number of scheduled events — a liveness
 // metric: after a run drains, self-rescheduling actors are the only
@@ -481,6 +731,11 @@ func (m *Machine) OnTaskDone(fn func(t *task.Task)) { m.doneFns = append(m.doneF
 // NewTask creates a task with the given program, default nice and full
 // affinity, but does not start it.
 func (m *Machine) NewTask(name string, prog task.Program) *task.Task {
+	if m.window {
+		// Task creation appends to machine-wide structures and placement
+		// scans every core; it belongs to setup or global events.
+		panic("sim: NewTask inside a parallel shard window")
+	}
 	t := &task.Task{
 		ID:       m.nextTask,
 		Name:     name,
@@ -493,6 +748,12 @@ func (m *Machine) NewTask(name string, prog task.Program) *task.Task {
 	m.nextTask++
 	m.live++
 	m.tasks = append(m.tasks, t)
+	// Pre-grow the sleep-timer table here, at creation time, so the
+	// hot sleep path — which may run inside a parallel window — never
+	// appends to a machine-wide slice.
+	for len(m.sleepTimers) <= t.ID {
+		m.sleepTimers = append(m.sleepTimers, nil)
+	}
 	return t
 }
 
@@ -559,7 +820,7 @@ func (m *Machine) wake(t *task.Task) {
 	if t.State != task.Sleeping && t.State != task.Blocked {
 		return
 	}
-	m.Stats.Wakeups++
+	m.statsFor(t.CoreID).Wakeups++
 	t.State = task.Runnable
 	core := t.CoreID
 	if !m.Cores[core].online {
@@ -582,7 +843,7 @@ func (m *Machine) enqueue(t *task.Task, core int, wakeup bool) {
 		panic(fmt.Sprintf("sim: enqueue of task %q on offline core %d", t.Name, core))
 	}
 	t.CoreID = core
-	t.LastEnqueuedAt = m.now
+	t.LastEnqueuedAt = m.clock(core)
 	preempt := c.sched.Enqueue(t, wakeup)
 	if c.cur == nil {
 		c.dispatch()
@@ -668,10 +929,19 @@ func (m *Machine) NoteMigration(t *task.Task, dst int, label string) {
 	if src == dst {
 		return
 	}
+	if m.window && m.shardOf[src] != m.shardOf[dst] {
+		// Cross-shard moves mutate two shards at once; only global
+		// events (balancer ticks, hotplug) may perform them.
+		panic(fmt.Sprintf("sim: cross-shard migration of task %q inside a parallel shard window", t.Name))
+	}
 	t.WarmupLeft += m.Topo.MigrationCost(t.RSS, src, dst)
 	t.Migrations++
-	t.LastMigratedAt = m.now
-	m.Stats.Migrations[label]++
+	t.LastMigratedAt = m.clock(dst)
+	st := m.statsFor(dst)
+	if st.Migrations == nil {
+		st.Migrations = make(map[string]int)
+	}
+	st.Migrations[label]++
 	if m.tracer != nil {
 		m.Emit(trace.Event{Kind: trace.KindMigration, Core: dst,
 			Task: t.ID, TaskName: t.Name, Src: src, Dst: dst, Label: label})
@@ -690,16 +960,17 @@ func (m *Machine) NoteMigration(t *task.Task, dst int, label string) {
 // advancing waiters on other cores).
 func (m *Machine) advance(t *task.Task) {
 	for {
+		now := m.clock(t.CoreID)
 		var a task.Action = task.Exit{}
 		if t.Prog != nil {
-			a = t.Prog.Next(t, m.now)
+			a = t.Prog.Next(t, now)
 		}
 		switch a := a.(type) {
 		case task.Compute:
 			t.Cur = task.Exec{Kind: task.ExecCompute, WorkLeft: a.Work}
 			return
 		case task.Sleep:
-			t.Cur = task.Exec{Kind: task.ExecSleep, WakeAt: m.now + int64(a.D)}
+			t.Cur = task.Exec{Kind: task.ExecSleep, WakeAt: now + int64(a.D)}
 			m.sleepUntil(t, t.Cur.WakeAt)
 			return
 		case task.WaitFor:
@@ -748,11 +1019,8 @@ func (m *Machine) advance(t *task.Task) {
 // task suffices and the steady-state path allocates nothing.
 func (m *Machine) sleepUntil(t *task.Task, wakeAt int64) {
 	m.offQueue(t, task.Sleeping)
-	if wakeAt < m.now {
-		wakeAt = m.now
-	}
-	for len(m.sleepTimers) <= t.ID {
-		m.sleepTimers = append(m.sleepTimers, nil)
+	if now := m.clock(t.CoreID); wakeAt < now {
+		wakeAt = now
 	}
 	ev := m.sleepTimers[t.ID]
 	if ev == nil {
@@ -763,7 +1031,10 @@ func (m *Machine) sleepUntil(t *task.Task, wakeAt int64) {
 		})
 		m.sleepTimers[t.ID] = ev
 	}
-	m.events.Schedule(ev, wakeAt)
+	// The wake timer lives on the shard of the core the task sleeps on:
+	// the task will wake exactly there (or be redirected by a global
+	// hotplug event, which closes any window first).
+	m.events.Schedule(ev, int(m.shardOf[t.CoreID]), wakeAt)
 }
 
 // block takes a task off its queue until a Release.
@@ -775,8 +1046,12 @@ func (m *Machine) block(t *task.Task) {
 func (m *Machine) exit(t *task.Task) {
 	t.Cur = task.Exec{Kind: task.ExecExited}
 	m.offQueue(t, task.Done)
-	t.FinishedAt = m.now
-	m.live--
+	t.FinishedAt = m.clock(t.CoreID)
+	if m.window {
+		m.shardStates[m.shardOf[t.CoreID]].live++
+	} else {
+		m.live--
+	}
 	for _, fn := range m.doneFns {
 		fn(t)
 	}
@@ -803,21 +1078,11 @@ func (m *Machine) offQueue(t *task.Task, st task.State) {
 }
 
 // sharedWith visits every other core whose effective speed depends on
-// this core's occupancy — SMT siblings and memory-domain mates.
+// this core's occupancy — SMT siblings and memory-domain mates
+// (precomputed per core at New).
 func (m *Machine) sharedWith(c *Core, fn func(o *Core)) {
-	if sibs := c.info.SMTSiblings; sibs.Count() > 1 {
-		for _, s := range sibs.Cores() {
-			if s != c.id {
-				fn(m.Cores[s])
-			}
-		}
-	}
-	if c.memDomain >= 0 {
-		for _, s := range m.Topo.MemDomains[c.memDomain].Cores.Cores() {
-			if s != c.id && !c.info.SMTSiblings.Has(s) {
-				fn(m.Cores[s])
-			}
-		}
+	for _, s := range c.shareMates {
+		fn(m.Cores[s])
 	}
 }
 
@@ -841,17 +1106,46 @@ func (m *Machine) rearmShared(c *Core) {
 
 // Sync settles in-progress accounting on every core so task ExecTime
 // values are exact as of Now. Balancers call this before sampling speeds.
+// Machine-wide settlement can only run from a global event; a
+// shard-confined balancer uses SyncCores on its own cores instead.
 func (m *Machine) Sync() {
+	if m.window {
+		panic("sim: machine-wide Sync inside a parallel shard window; use SyncCores")
+	}
 	for _, c := range m.Cores {
 		c.account()
 	}
 }
 
-// Stop ends the run after the current event.
-func (m *Machine) Stop() { m.stopped = true }
+// SyncCores settles in-progress accounting on the given cores only, so a
+// balancer confined to one shard can sample exact ExecTime values from
+// inside a parallel window without touching other shards.
+func (m *Machine) SyncCores(set cpuset.Set) {
+	set.ForEach(func(id int) bool {
+		m.Cores[id].account()
+		return true
+	})
+}
+
+// Stop ends the run after the current event. It is a machine-wide
+// control action and must not be called from inside a parallel shard
+// window — a mid-window stop would depend on shard interleaving.
+func (m *Machine) Stop() {
+	if m.window {
+		panic("sim: Stop inside a parallel shard window")
+	}
+	m.stopped = true
+}
 
 // Run processes events until the given absolute time (inclusive), the
 // event queue empties, or Stop is called. It returns the time reached.
+//
+// With ShardParallel set (and the isolation preconditions holding) the
+// loop alternates between global events, processed one at a time in
+// strict (time, scheduling-order) sequence, and parallel windows: spans
+// with no global event, during which every shard's worker drains its own
+// queue on its own goroutine. Results are identical either way; see
+// tryWindow for the argument.
 func (m *Machine) Run(until int64) int64 {
 	if !m.running {
 		m.running = true
@@ -859,7 +1153,11 @@ func (m *Machine) Run(until int64) int64 {
 			a.Start(m)
 		}
 	}
+	parallel := m.cfg.ShardParallel && m.nShards > 1 && m.shardClosed
 	for !m.stopped {
+		if parallel && m.tryWindow(until) {
+			continue
+		}
 		e := m.events.Peek()
 		if e == nil || e.At > until {
 			break
@@ -878,6 +1176,136 @@ func (m *Machine) Run(until int64) int64 {
 		m.now = until
 	}
 	return m.now
+}
+
+// tryWindow opens a parallel window up to the next global event (or the
+// run limit) if the span is worth it and the run is shard-isolated right
+// now. It reports whether a window ran.
+//
+// Why results cannot differ from the sequential order: shard events
+// never interact across shards — their callbacks touch only their own
+// shard's cores and tasks (affinity containment checked below; SMT and
+// memory-domain closure checked at New; the remaining obligations are
+// asserted by the ShardParallel contract and enforced by panics and the
+// race detector). Two events on different shards therefore commute, and
+// any interleaving — including the fully-parallel one — produces the
+// same state at the horizon as the sequential (time, seq) order. Within
+// a shard the worker preserves the exact sequential order. Tracing and
+// metrics are off (checked below), so no observer can see the
+// cross-shard interleaving either.
+func (m *Machine) tryWindow(until int64) bool {
+	if m.tracer != nil || m.metrics != nil || m.windowsBlocked {
+		return false
+	}
+	horizon := until + 1
+	if g := m.events.PeekGlobal(); g != nil && g.At < horizon {
+		horizon = g.At
+	}
+	if horizon-m.now < int64(m.cfg.WindowMin) {
+		return false
+	}
+	// Parallelism pays only when at least two shards have work before
+	// the horizon.
+	active := 0
+	for s := 0; s < m.nShards; s++ {
+		if h := m.events.ShardPeek(s); h != nil && h.At < horizon {
+			active++
+		}
+	}
+	if active < 2 {
+		return false
+	}
+	// Isolation: every live task must be confined by affinity to the
+	// shard it currently sits on, or a wake/enqueue could cross shards.
+	// Grouped tasks (one application) must additionally share a shard:
+	// task-exit hooks mutate per-app state (spmd.App completion counts)
+	// from whichever shard worker retires the task, so an app split
+	// across shards would race even though each task is contained.
+	if m.groupShard == nil {
+		m.groupShard = make(map[string]int32, 16)
+	}
+	clear(m.groupShard)
+	for _, t := range m.tasks {
+		switch t.State {
+		case task.New, task.Done:
+			continue
+		}
+		sh := m.shardOf[t.CoreID]
+		if !m.shardCores[sh].Contains(t.Affinity) {
+			return false
+		}
+		if t.Group != "" {
+			if prev, ok := m.groupShard[t.Group]; ok && prev != sh {
+				return false
+			}
+			m.groupShard[t.Group] = sh
+		}
+	}
+	m.runWindow(horizon)
+	return true
+}
+
+// runWindow drains every shard queue up to (strictly before) horizon,
+// one goroutine per shard with pending work, then folds the per-shard
+// clocks and counter deltas back into the machine, in shard order.
+func (m *Machine) runWindow(horizon int64) {
+	for s := range m.shardStates {
+		m.shardStates[s].now = m.now
+	}
+	m.events.BeginWindow()
+	m.window = true
+	var wg sync.WaitGroup
+	for s := 1; s < m.nShards; s++ {
+		if h := m.events.ShardPeek(s); h == nil || h.At >= horizon {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			m.drainShard(s, horizon)
+		}(s)
+	}
+	m.drainShard(0, horizon)
+	wg.Wait()
+	m.window = false
+	m.events.EndWindow()
+	m.windows++
+	for s := 0; s < m.nShards; s++ {
+		sh := &m.shardStates[s]
+		if sh.now > m.now {
+			m.now = sh.now
+		}
+		m.windowEvents += sh.stats.Events
+		m.Stats.Events += sh.stats.Events
+		m.Stats.ContextSwitches += sh.stats.ContextSwitches
+		m.Stats.Wakeups += sh.stats.Wakeups
+		for label, n := range sh.stats.Migrations {
+			m.Stats.Migrations[label] += n
+		}
+		m.live -= sh.live
+		sh.stats = Stats{}
+		sh.live = 0
+	}
+}
+
+// drainShard is one window worker: it fires the shard's events in
+// (time, seq) order until the queue is empty or the next event is at or
+// past the horizon. Events it fires may push more shard-local events,
+// which it also drains.
+func (m *Machine) drainShard(s int, horizon int64) {
+	sh := &m.shardStates[s]
+	for {
+		e := m.events.ShardPopBefore(s, horizon)
+		if e == nil {
+			return
+		}
+		if e.At > sh.now {
+			sh.now = e.At
+		}
+		sh.stats.Events++
+		e.Fire(e.At)
+		m.events.ShardRelease(e)
+	}
 }
 
 // RunFor processes events for d of simulated time.

@@ -311,10 +311,30 @@ func (b *Balancer) Start(m *sim.Machine) {
 	m.OnCoreChange(b.noteMove)
 	m.OnTaskDone(b.noteDone)
 	m.OnOnlineChange(b.noteOnline)
+	// The balancer threads may ride their cores' shard queues — and so
+	// run inside parallel windows — only when every core they can read
+	// or pull from (the whole managed set) lives in one shard. A rescan
+	// group additionally scans machine-global task state, which pins the
+	// timers to the control queue.
+	shardLocal := b.cfg.RescanGroup == ""
+	if shardLocal {
+		shard := m.ShardOf(b.cores[0])
+		for _, c := range b.cores[1:] {
+			if m.ShardOf(c) != shard {
+				shardLocal = false
+				break
+			}
+		}
+	}
 	b.wakeTimers = make([]*sim.Timer, n)
 	for j := range b.cores {
 		j := j
-		b.wakeTimers[j] = m.NewTimer(func(now int64) { b.wake(j, now) })
+		fn := func(now int64) { b.wake(j, now) }
+		if shardLocal {
+			b.wakeTimers[j] = m.NewCoreTimer(b.cores[j], fn)
+		} else {
+			b.wakeTimers[j] = m.NewTimer(fn)
+		}
 		delay := b.cfg.StartupDelay + b.cfg.Interval
 		b.wakeTimers[j].Schedule(m.Now() + int64(delay) + b.jitter())
 	}

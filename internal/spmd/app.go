@@ -142,7 +142,10 @@ func (a *App) taskDone(t *task.Task) {
 	}
 	a.done++
 	if a.done == len(a.Tasks) {
-		a.finished = a.m.Now()
+		// The exiting task's own finish stamp, not Machine.Now: inside a
+		// parallel shard window the machine clock lags the shard clock
+		// that actually retired the task.
+		a.finished = t.FinishedAt
 		for _, fn := range a.onDone {
 			fn(a)
 		}

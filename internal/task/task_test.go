@@ -1,6 +1,7 @@
 package task
 
 import (
+	"repro/internal/cpuset"
 	"testing"
 	"time"
 )
@@ -167,11 +168,11 @@ func TestTaskPredicates(t *testing.T) {
 	if tk.Runnable() {
 		t.Error("blocked task runnable")
 	}
-	tk.Affinity = 1 << 5
+	tk.Affinity = cpuset.Of(5)
 	if !tk.Pinned() {
 		t.Error("single-core affinity not pinned")
 	}
-	tk.Affinity |= 1 << 6
+	tk.Affinity = tk.Affinity.Add(6)
 	if tk.Pinned() {
 		t.Error("two-core affinity pinned")
 	}

@@ -240,6 +240,100 @@ func SMP(n int) *Topology {
 	return Asymmetric(uniform(n))
 }
 
+// Fabric returns a datacenter-scale NUMA machine: sockets packages, each
+// a NUMA node of coresPer cores (no SMT), with an 8 MB last-level cache
+// and an on-die memory controller per socket. Core numbering is
+// contiguous per socket: socket s holds cores [s·coresPer, (s+1)·coresPer).
+// Cores within a socket share the L3 in groups of four (a mesh-slice
+// cluster), mirroring the Tigerton pair / Barcelona socket structure at
+// larger scale.
+//
+// Fabric(16, 64) is the 1,024-core reference machine of the sharded
+// simulator: sixteen single-node sockets map one-to-one onto event-queue
+// shards, so conservative-lookahead windows parallelise perfectly.
+func Fabric(sockets, coresPer int) *Topology {
+	n := sockets * coresPer
+	if sockets <= 0 || coresPer <= 0 || n > cpuset.MaxCPU {
+		panic(fmt.Sprintf("topo: invalid fabric %d sockets x %d cores", sockets, coresPer))
+	}
+	t := &Topology{
+		Name:                fmt.Sprintf("fabric%dx%d", sockets, coresPer),
+		NUMANodes:           sockets,
+		RemoteMemoryPenalty: 0.5,
+		MemBandwidth:        12.0,
+	}
+	// L3-slice clusters of four cores; a short final cluster absorbs a
+	// coresPer that is not a multiple of four.
+	cluster := 4
+	if coresPer < cluster {
+		cluster = coresPer
+	}
+	for c := 0; c < n; c++ {
+		t.Cores = append(t.Cores, CoreInfo{
+			ID:          c,
+			BaseSpeed:   1.0,
+			Node:        c / coresPer,
+			Socket:      c / coresPer,
+			CacheGroup:  c / cluster,
+			SMTSiblings: cpuset.Of(c),
+		})
+	}
+	var clusterGroups []cpuset.Set
+	for s := 0; s < sockets; s++ {
+		lo, hi := s*coresPer, (s+1)*coresPer
+		t.Caches = append(t.Caches, Cache{
+			Name:  "L3",
+			Size:  8 << 20,
+			Cores: cpuset.Range(lo, hi),
+		})
+		// Modern per-socket controllers sustain several fully
+		// memory-bound cores at once.
+		t.MemDomains = append(t.MemDomains, MemDomain{
+			Cores:    cpuset.Range(lo, hi),
+			Capacity: 8.0,
+		})
+		for g := lo; g < hi; g += cluster {
+			end := g + cluster
+			if end > hi {
+				end = hi
+			}
+			clusterGroups = append(clusterGroups, cpuset.Range(g, end))
+		}
+	}
+	var socketGroups []cpuset.Set
+	for s := 0; s < sockets; s++ {
+		socketGroups = append(socketGroups, cpuset.Range(s*coresPer, (s+1)*coresPer))
+	}
+	t.Levels = []DomainLevel{
+		{
+			Name:         "MC",
+			Groups:       clusterGroups,
+			BusyInterval: cacheBusyInterval,
+			IdleInterval: umaIdleInterval,
+			ImbalancePct: 125,
+			NewIdle:      true,
+		},
+		{
+			Name:         "CPU",
+			Groups:       socketGroups,
+			BusyInterval: socketBusyInterval,
+			IdleInterval: umaIdleInterval,
+			ImbalancePct: 125,
+			NewIdle:      true,
+		},
+		{
+			Name:         "NODE",
+			Groups:       []cpuset.Set{cpuset.All(n)},
+			BusyInterval: numaBusyInterval,
+			IdleInterval: numaIdleInterval,
+			ImbalancePct: 125,
+			NewIdle:      false,
+			NUMA:         true,
+		},
+	}
+	return t
+}
+
 // Asymmetric returns a flat UMA machine whose core i runs at speeds[i]
 // times the reference clock. This models condition 2 from the paper's
 // introduction (e.g. Turbo Boost over-clocking a subset of cores).

@@ -212,7 +212,7 @@ func (l *DomainLevel) GroupOf(core int) cpuset.Set {
 			return g
 		}
 	}
-	return 0
+	return cpuset.Set{}
 }
 
 // MigrationCost estimates the one-time cache warmup delay a task pays on

@@ -9,7 +9,7 @@ import (
 
 func machines() []*Topology {
 	return []*Topology{Tigerton(), Barcelona(), Nehalem(), SMP(8),
-		Asymmetric([]float64{1, 2, 0.5})}
+		Asymmetric([]float64{1, 2, 0.5}), Fabric(16, 64), Fabric(2, 6)}
 }
 
 // Every built-in machine passes structural validation.
@@ -45,6 +45,40 @@ func TestTigertonShape(t *testing.T) {
 	}
 	if _, ok := m.SharedCache(0, 2); ok {
 		t.Error("cores 0,2 share a cache, want none")
+	}
+}
+
+func TestFabricShape(t *testing.T) {
+	m := Fabric(16, 64)
+	if m.NumCores() != 1024 || m.NUMANodes != 16 {
+		t.Fatalf("cores=%d nodes=%d", m.NumCores(), m.NUMANodes)
+	}
+	// Cores 0 and 3 share an L3-slice cluster; 0 and 63 share only the
+	// socket; 0 and 64 are on different NUMA nodes.
+	if d := m.Distance(0, 3); d != DistCache {
+		t.Errorf("Distance(0,3) = %v, want cache", d)
+	}
+	if d := m.Distance(0, 63); d != DistSocket {
+		t.Errorf("Distance(0,63) = %v, want socket", d)
+	}
+	if _, ok := m.SharedCache(0, 63); !ok {
+		t.Error("cores 0,63 share no cache, want socket L3")
+	}
+	if d := m.Distance(0, 64); d != DistNUMA {
+		t.Errorf("Distance(0,64) = %v, want numa", d)
+	}
+	if got := m.MemDomainOf(1023); got != 15 {
+		t.Errorf("MemDomainOf(1023) = %d, want 15", got)
+	}
+	for _, c := range []int{0, 511, 1023} {
+		if s := m.Cores[c].Socket; s != c/64 {
+			t.Errorf("core %d on socket %d, want %d", c, s, c/64)
+		}
+	}
+	// A non-multiple-of-four socket width still validates (short last
+	// cluster per socket).
+	if err := Fabric(3, 5).Validate(); err != nil {
+		t.Errorf("Fabric(3,5): %v", err)
 	}
 }
 

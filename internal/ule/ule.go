@@ -18,6 +18,7 @@ package ule
 import (
 	"time"
 
+	"repro/internal/cpuset"
 	"repro/internal/sim"
 	"repro/internal/task"
 	"repro/internal/trace"
@@ -34,6 +35,13 @@ type Config struct {
 	// MinImbalance is the queue-length difference required for a push
 	// (2 by default: a static balance must be improvable).
 	MinImbalance int
+	// Domain restricts pushing and stealing to a core subset — one
+	// Balancer instance per socket/shard models partitioned scheduling
+	// domains. Empty means the whole machine. When the domain is
+	// contained in one simulation shard, the push timer rides that
+	// shard's queue, so the twice-a-second pass no longer bounds
+	// conservative lookahead and runs inside parallel windows.
+	Domain cpuset.Set
 }
 
 // DefaultConfig returns the FreeBSD 7.2 defaults.
@@ -51,6 +59,8 @@ type Balancer struct {
 	m   *sim.Machine
 	rng *xrand.RNG
 
+	// domain is the resolved balancing scope (Config.Domain or all).
+	domain cpuset.Set
 	// pushTimer is the reusable push-balancer timer.
 	pushTimer *sim.Timer
 
@@ -80,11 +90,23 @@ func Default() *Balancer { return New(DefaultConfig()) }
 func (b *Balancer) Start(m *sim.Machine) {
 	b.m = m
 	b.rng = m.RNG()
+	b.domain = b.cfg.Domain
+	if b.domain.Empty() {
+		b.domain = m.Topo.AllCores()
+	}
 	m.OnIdle(b.idled)
-	b.pushTimer = m.NewTimer(func(now int64) {
+	fn := func(now int64) {
 		b.push(now)
 		b.pushTimer.Schedule(now + int64(b.cfg.PushInterval))
-	})
+	}
+	// The push pass reads and moves only domain queues: when they all
+	// live in one shard the timer may ride that shard's queue instead of
+	// bounding conservative lookahead.
+	if first := b.domain.First(); first >= 0 && b.m.ShardCores(m.ShardOf(first)).Contains(b.domain) {
+		b.pushTimer = m.NewCoreTimer(first, fn)
+	} else {
+		b.pushTimer = m.NewTimer(fn)
+	}
 	b.pushTimer.Schedule(m.Now() + int64(b.cfg.PushInterval))
 }
 
@@ -93,8 +115,9 @@ func (b *Balancer) Start(m *sim.Machine) {
 func (b *Balancer) push(now int64) {
 	var hi, lo *sim.Core
 	for _, c := range b.m.Cores {
-		if !c.Online() {
-			// An offline queue holds nothing and must receive nothing.
+		if !c.Online() || !b.domain.Has(c.ID()) {
+			// An offline queue holds nothing and must receive nothing;
+			// out-of-domain queues belong to another balancer.
 			continue
 		}
 		if hi == nil || c.NrRunnable() > hi.NrRunnable() {
@@ -127,9 +150,13 @@ func (b *Balancer) push(now int64) {
 
 // idled is ULE's tdq_idled: an idle core steals from a loaded queue.
 func (b *Balancer) idled(c *sim.Core) {
+	if !b.domain.Has(c.ID()) {
+		return
+	}
 	var busiest *sim.Core
 	for _, o := range b.m.Cores {
-		if o == c || !o.Online() || o.NrRunnable() < b.cfg.StealThreshold {
+		if o == c || !o.Online() || !b.domain.Has(o.ID()) ||
+			o.NrRunnable() < b.cfg.StealThreshold {
 			continue
 		}
 		if busiest == nil || o.NrRunnable() > busiest.NrRunnable() {

@@ -1,6 +1,7 @@
 package ule_test
 
 import (
+	"repro/internal/cpuset"
 	"testing"
 	"time"
 
@@ -96,7 +97,7 @@ func TestULEAffinity(t *testing.T) {
 	var pinned []*task.Task
 	for i := 0; i < 6; i++ {
 		tk := m.NewTask("pinned", &task.ComputeForever{Chunk: 1e9})
-		tk.Affinity = 0b11
+		tk.Affinity = cpuset.Of(0, 1)
 		m.Start(tk)
 		pinned = append(pinned, tk)
 	}
