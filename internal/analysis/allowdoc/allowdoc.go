@@ -1,0 +1,46 @@
+// Package allowdoc implements the suppression-hygiene analyzer.
+//
+// Every //lint:allow-<category> directive is a hole punched in a
+// determinism guarantee, and the lint-budget ledger audits those holes
+// by category count. That audit is only as good as the directives
+// themselves, so this analyzer enforces two invariants over them:
+//
+//   - the category must be one of the canonical vocabulary
+//     (analysis.Categories) — a typoed directive silences nothing and
+//     would otherwise rot in place looking like protection;
+//   - the directive must carry a justification after the category — the
+//     reviewer-facing reason the site is exempt. A bare directive tells
+//     the next reader nothing about whether the hole is still needed.
+//
+// Directives are parsed by analysis.Directives, the same function the
+// suppressor and the ledger use, so the three can never disagree about
+// what counts as a directive. Findings carry category allowdoc; there
+// is deliberately no allow-allowdoc escape in practice — documenting a
+// directive is always cheaper than justifying why it shouldn't be.
+package allowdoc
+
+import (
+	"repro/internal/analysis"
+)
+
+// Analyzer is the allowdoc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "allowdoc",
+	Doc:  "require every //lint:allow-* directive to name a known category and carry a justification",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, d := range analysis.Directives(pass.Files) {
+		if !analysis.KnownCategory(d.Category) {
+			pass.Reportf(d.Pos, "allowdoc",
+				"//lint:allow-%s names an unknown category; it suppresses nothing (known: %v)", d.Category, analysis.Categories)
+			continue
+		}
+		if d.Justification == "" {
+			pass.Reportf(d.Pos, "allowdoc",
+				"//lint:allow-%s has no justification; state why this site is exempt so the ledger entry stays auditable", d.Category)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package allowdoc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/allowdoc"
+)
+
+func TestAllowdoc(t *testing.T) {
+	analysistest.Run(t, "testdata/src", allowdoc.Analyzer, "a", "clean")
+}

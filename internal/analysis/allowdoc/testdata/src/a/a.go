@@ -1,0 +1,13 @@
+// Package a seeds the allowdoc violations: a bare directive and a
+// typoed category.
+package a
+
+import "time"
+
+func undocumented() {
+	_ = time.Now //lint:allow-wallclock // want allowdoc:"has no justification"
+}
+
+func typoedCategory() {
+	_ = time.Now //lint:allow-wallcock oops // want allowdoc:"names an unknown category"
+}

@@ -1,0 +1,9 @@
+// Package clean holds a well-formed directive: known category, with a
+// justification. allowdoc must stay silent.
+package clean
+
+import "time"
+
+func documented() {
+	_ = time.Now //lint:allow-wallclock progress reporting only
+}

@@ -110,6 +110,92 @@ func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *typ
 	return kept, nil
 }
 
+// Categories is the canonical suppression-category vocabulary, the
+// single source the allowdoc analyzer, the lint-budget ledger, and the
+// documentation table draw from. A //lint:allow-<category> directive
+// naming anything else is itself a finding.
+var Categories = []string{
+	"wallclock", "rand", "select", "maporder", "slotsafety",
+	"machineglobal", "windowsafe", "eventown", "timeunits", "allowdoc",
+}
+
+// KnownCategory reports whether cat is in the canonical vocabulary.
+func KnownCategory(cat string) bool {
+	for _, c := range Categories {
+		if c == cat {
+			return true
+		}
+	}
+	return false
+}
+
+// A Directive is one parsed //lint:allow-<category> comment.
+type Directive struct {
+	Pos      token.Pos
+	Category string
+	// Justification is the free-form text after the category — the
+	// reviewer-facing reason the site is exempt. allowdoc requires it.
+	Justification string
+}
+
+// Directives extracts every suppression directive from the files, in
+// file order. The suppressor, the allowdoc analyzer, and the lbos-lint
+// ledger all parse directives through this one function so they can
+// never disagree about what counts as one.
+func Directives(files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				// The category runs to the first space; anything after
+				// is the free-form justification.
+				cat, just, _ := strings.Cut(rest, " ")
+				if cat == "" {
+					continue
+				}
+				// In analyzer corpora a directive line may also carry a
+				// "// want" expectation; that is harness metadata, not
+				// justification text.
+				if i := strings.Index(just, "// want "); i >= 0 {
+					just = just[:i]
+				}
+				out = append(out, Directive{
+					Pos:           c.Pos(),
+					Category:      cat,
+					Justification: strings.TrimSpace(just),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// RecvTypeName resolves the name of the named receiver type of a method
+// call selector, or "" when sel is not a method selection. Pointerness
+// is stripped: (*Queue).Release and Queue.Release both report "Queue".
+// Matching receivers by name rather than by package identity keeps the
+// analyzers portable across test doubles and corpora, the same
+// convention slotsafety established for Runner.
+func RecvTypeName(info *types.Info, sel *ast.SelectorExpr) string {
+	selection := info.Selections[sel]
+	if selection == nil {
+		return ""
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
 // suppressor indexes //lint:allow-<category> directives by file line.
 type suppressor struct {
 	fset *token.FileSet
@@ -121,28 +207,14 @@ const directivePrefix = "//lint:allow-"
 
 func newSuppressor(fset *token.FileSet, files []*ast.File) *suppressor {
 	s := &suppressor{fset: fset, allows: map[string]map[int][]string{}}
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, directivePrefix) {
-					continue
-				}
-				rest := strings.TrimPrefix(c.Text, directivePrefix)
-				// The category runs to the first space; anything after
-				// is a free-form justification.
-				cat, _, _ := strings.Cut(rest, " ")
-				if cat == "" {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				byLine := s.allows[pos.Filename]
-				if byLine == nil {
-					byLine = map[int][]string{}
-					s.allows[pos.Filename] = byLine
-				}
-				byLine[pos.Line] = append(byLine[pos.Line], cat)
-			}
+	for _, d := range Directives(files) {
+		pos := fset.Position(d.Pos)
+		byLine := s.allows[pos.Filename]
+		if byLine == nil {
+			byLine = map[int][]string{}
+			s.allows[pos.Filename] = byLine
 		}
+		byLine[pos.Line] = append(byLine[pos.Line], d.Category)
 	}
 	return s
 }

@@ -10,7 +10,14 @@
 //
 // The quoted string is a regular expression matched against the
 // diagnostic message; several strings on one line expect several
-// diagnostics. Lines without a want comment must stay silent, so the
+// diagnostics. An expectation may pin the suppression category too:
+//
+//	q.Release(e) // want eventown:"released on another path"
+//
+// matches only a diagnostic whose category is eventown, so corpora for
+// analyzers that report under several categories (windowsafe emits both
+// machineglobal and windowsafe) assert the category routing, not just
+// the message. Lines without a want comment must stay silent, so the
 // same corpus pins both positives and false-positive guards. Findings
 // suppressed by //lint:allow-* directives never reach matching —
 // a directive line with no want comment asserts the escape hatch works.
@@ -33,8 +40,9 @@ import (
 	"repro/internal/analysis"
 )
 
-// wantRE extracts the quoted expectations from a want comment.
-var wantRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+// wantRE extracts the expectations from a want comment: an optional
+// category qualifier followed by a quoted message regexp.
+var wantRE = regexp.MustCompile(`(?:([a-zA-Z][a-zA-Z0-9_-]*):)?("(?:[^"\\]|\\.)*")`)
 
 // Run applies the analyzer to each named package under dir (usually
 // "testdata/src") and reports mismatches through t.
@@ -95,8 +103,10 @@ func wantPayload(comment string) (string, bool) {
 }
 
 // expectation is one want regexp, consumed when a diagnostic matches it.
+// A non-empty cat additionally requires the diagnostic's category.
 type expectation struct {
 	re   *regexp.Regexp
+	cat  string
 	text string
 	used bool
 }
@@ -118,7 +128,8 @@ func match(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysi
 				}
 				pos := fset.Position(c.Pos())
 				k := key{pos.Filename, pos.Line}
-				for _, q := range wantRE.FindAllString(text, -1) {
+				for _, m := range wantRE.FindAllStringSubmatch(text, -1) {
+					cat, q := m[1], m[2]
 					unq, err := strconv.Unquote(q)
 					if err != nil {
 						t.Fatalf("%s: bad want string %s: %v", pos, q, err)
@@ -127,7 +138,11 @@ func match(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysi
 					if err != nil {
 						t.Fatalf("%s: bad want regexp %q: %v", pos, unq, err)
 					}
-					wants[k] = append(wants[k], &expectation{re: re, text: unq})
+					label := unq
+					if cat != "" {
+						label = cat + ":" + unq
+					}
+					wants[k] = append(wants[k], &expectation{re: re, cat: cat, text: label})
 				}
 			}
 		}
@@ -137,14 +152,14 @@ func match(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysi
 		k := key{pos.Filename, pos.Line}
 		matched := false
 		for _, w := range wants[k] {
-			if !w.used && w.re.MatchString(d.Message) {
+			if !w.used && w.re.MatchString(d.Message) && (w.cat == "" || w.cat == d.Category) {
 				w.used = true
 				matched = true
 				break
 			}
 		}
 		if !matched {
-			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+			t.Errorf("%s: unexpected diagnostic: %s [%s]: %s", pos, d.Analyzer, d.Category, d.Message)
 		}
 	}
 	keys := make([]key, 0, len(wants))

@@ -1,0 +1,125 @@
+package ctrlflow
+
+import "go/ast"
+
+// A Dataflow describes one forward, flow-sensitive analysis over a CFG.
+// The state type S is typically a map from types.Object to an abstract
+// value; the solver treats it as opaque.
+type Dataflow[S any] struct {
+	// Entry returns the state on function entry.
+	Entry func() S
+	// Clone returns an independent copy of a state.
+	Clone func(S) S
+	// Join merges src into dst (the lattice join) and reports whether
+	// dst changed. The solver re-queues a block whenever the state
+	// flowing into it changes, so Join must be monotone and the lattice
+	// of finite height or the fixpoint will not terminate.
+	Join func(dst, src S) bool
+	// Transfer applies the effect of one CFG node to the state in place.
+	Transfer func(n ast.Node, s S)
+}
+
+// Solve runs the worklist algorithm to a fixpoint and returns the state
+// flowing *into* each reachable block. Unreachable blocks have no entry
+// in the map. Analyzers typically follow with a reporting pass: for each
+// reachable block, clone its in-state and replay Transfer node by node,
+// emitting diagnostics with full knowledge of the merged state at every
+// program point (see ReplayFunc).
+func Solve[S any](g *CFG, d Dataflow[S]) map[*Block]S {
+	in := map[*Block]S{g.Entry: d.Entry()}
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	// Safety valve: with a monotone Join the fixpoint is reached long
+	// before this; a non-monotone analyzer bug degrades to a partial
+	// (still sound-to-report-nothing-more) result instead of a hang.
+	budget := 64 * (len(g.Blocks) + 1)
+	for len(work) > 0 && budget > 0 {
+		budget--
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		s := d.Clone(in[b])
+		for _, n := range b.Nodes {
+			d.Transfer(n, s)
+		}
+		for _, succ := range b.Succs {
+			if succ == g.Exit {
+				continue
+			}
+			cur, ok := in[succ]
+			changed := false
+			if !ok {
+				in[succ] = d.Clone(s)
+				changed = true
+			} else {
+				changed = d.Join(cur, s)
+			}
+			if changed && !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// Replay clones the in-state of each reachable block (in block order) and
+// feeds its nodes through fn with the evolving state — the reporting pass
+// that follows Solve. fn receives the same (node, state) pairs Transfer
+// saw at the fixpoint, so diagnostics observe the merged may/must facts.
+func Replay[S any](g *CFG, in map[*Block]S, clone func(S) S, fn func(n ast.Node, s S)) {
+	for _, b := range g.Blocks {
+		s, ok := in[b]
+		if !ok {
+			continue
+		}
+		s = clone(s)
+		for _, n := range b.Nodes {
+			fn(n, s)
+		}
+	}
+}
+
+// ExitStates collects, for every edge into the exit block, the state at
+// the end of the source block together with the node to report at: the
+// trailing return statement, or nil when the function falls off the end
+// of its body. Leak-style checks (a handle live at one return, released
+// at another) compare these per-exit states.
+func ExitStates[S any](g *CFG, in map[*Block]S, clone func(S) S, transfer func(n ast.Node, s S)) []ExitState[S] {
+	var out []ExitState[S]
+	for _, b := range g.Blocks {
+		s, ok := in[b]
+		if !ok {
+			continue
+		}
+		exits := 0
+		for _, succ := range b.Succs {
+			if succ == g.Exit {
+				exits++
+			}
+		}
+		if exits == 0 {
+			continue
+		}
+		s = clone(s)
+		for _, n := range b.Nodes {
+			transfer(n, s)
+		}
+		var ret *ast.ReturnStmt
+		if len(b.Nodes) > 0 {
+			ret, _ = b.Nodes[len(b.Nodes)-1].(*ast.ReturnStmt)
+		}
+		for i := 0; i < exits; i++ {
+			out = append(out, ExitState[S]{State: s, Return: ret})
+		}
+	}
+	return out
+}
+
+// ExitState is the dataflow state on one edge into the exit block.
+type ExitState[S any] struct {
+	State S
+	// Return is the return statement ending the path, or nil when the
+	// path falls off the end of the function body.
+	Return *ast.ReturnStmt
+}

@@ -1,0 +1,516 @@
+// Package eventown implements the pooled-event ownership analyzer.
+//
+// The event queue's pooling contract (internal/eventq) is the hottest
+// sharp edge in the simulator: PushPooled hands out an *Event drawn from
+// a free list, Release returns it, and the struct is recycled for an
+// unrelated timer the moment it is back on the list. A handle misused
+// after that point corrupts whatever timer inherited the struct — a
+// determinism bug that surfaces as a wrong migration thousands of events
+// later, which is exactly the hazard class the PR 6 fuzzer could only
+// find dynamically. This analyzer finds it at lint time.
+//
+// eventown tracks every local variable bound to a PushPooled result
+// through the function's control-flow graph (internal/analysis/ctrlflow)
+// and flags, with full branch/loop sensitivity:
+//
+//   - use after Release: any read of a handle that has definitely been
+//     released, or may have been released on some path reaching the use
+//     — including a Release inside one arm of a branch followed by a use
+//     after the join, which no per-statement check can see;
+//   - double Release: a second Release (or Remove) of the same handle,
+//     including the may-happen-again form at a loop head;
+//   - Schedule on a released handle: rescheduling a recycled struct
+//     corrupts the unrelated timer that now owns it;
+//   - inconsistent release across exit paths: a handle released on one
+//     return path but still live on another — the early-return leak
+//     shape. A handle that is never released anywhere is NOT flagged:
+//     the fire-and-forget idiom hands the struct back via the event
+//     loop's own Release after firing.
+//
+// Ownership transfers end tracking: returning the handle, storing it in
+// a field, slice, map, or global (an owner now holds it), sending it on
+// a channel, passing it to a function, or capturing it in a function
+// literal. The analyzer matches queue receivers by named type (Queue,
+// Sharded), so corpora and test doubles are covered.
+//
+// //lint:allow-eventown suppresses a finding that is deliberate, e.g. a
+// pool test comparing a released handle's identity to prove reuse.
+package eventown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctrlflow"
+)
+
+// Analyzer is the eventown analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "eventown",
+	Doc:  "track pooled event handles through branches and loops: use-after-Release, double Release, Schedule on released, inconsistent release across returns",
+	Run:  run,
+}
+
+// queueTypes names the receiver types whose methods transfer pooled
+// ownership.
+var queueTypes = map[string]bool{"Queue": true, "Sharded": true}
+
+// absState is the abstract ownership state of one handle variable.
+type absState uint8
+
+const (
+	live     absState = iota + 1 // definitely holds an un-released pooled event
+	released                     // definitely released on every path here
+	maybe                        // released on some path, live on another
+	escaped                      // ownership handed off; no longer tracked
+)
+
+// state maps handle variables to their abstract ownership.
+type state map[types.Object]absState
+
+func cloneState(s state) state {
+	c := make(state, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// joinState merges src into dst: live ⊔ released = maybe, escaped wins
+// over everything (once ownership left the function on any path, later
+// reports would be speculative). A variable tracked on only one incoming
+// path keeps that path's state — the other path never bound a handle.
+func joinState(dst, src state) bool {
+	changed := false
+	for k, sv := range src {
+		dv, ok := dst[k]
+		if !ok {
+			dst[k] = sv
+			changed = true
+			continue
+		}
+		nv := joinAbs(dv, sv)
+		if nv != dv {
+			dst[k] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+func joinAbs(a, b absState) absState {
+	if a == b {
+		return a
+	}
+	if a == escaped || b == escaped {
+		return escaped
+	}
+	// Any disagreement among {live, released, maybe} is maybe.
+	return maybe
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFunc(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc runs the ownership dataflow over one function body.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Fast path: a body that never binds a PushPooled result has nothing
+	// to track.
+	binds := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isQueueOp(pass, call, "PushPooled") {
+			binds = true
+		}
+		return !binds
+	})
+	if !binds {
+		return
+	}
+
+	g := ctrlflow.New(body)
+	c := &checker{pass: pass}
+	flow := ctrlflow.Dataflow[state]{
+		Entry: func() state { return state{} },
+		Clone: cloneState,
+		Join:  joinState,
+		Transfer: func(n ast.Node, s state) {
+			c.transfer(n, s, false)
+		},
+	}
+	in := ctrlflow.Solve(g, flow)
+
+	// Reporting pass: replay with diagnostics enabled.
+	c.reported = map[token.Pos]bool{}
+	ctrlflow.Replay(g, in, cloneState, func(n ast.Node, s state) {
+		c.transfer(n, s, true)
+	})
+
+	// Exit consistency: a handle released on one return path but live on
+	// another is the early-return leak shape.
+	exits := ctrlflow.ExitStates(g, in, cloneState, func(n ast.Node, s state) {
+		c.transfer(n, s, false)
+	})
+	objs := map[types.Object]bool{}
+	for _, e := range exits {
+		for obj := range e.State {
+			objs[obj] = true
+		}
+	}
+	for obj := range objs {
+		releasedSomewhere := false
+		for _, e := range exits {
+			if st := e.State[obj]; st == released || st == maybe {
+				releasedSomewhere = true
+			}
+		}
+		if !releasedSomewhere {
+			continue // never released: fire-and-forget, event loop owns it
+		}
+		for _, e := range exits {
+			st := e.State[obj]
+			if st != live && st != maybe {
+				continue
+			}
+			pos := body.Rbrace
+			where := "falling off the end of the function"
+			if e.Return != nil {
+				pos = e.Return.Pos()
+				where = "this return"
+			}
+			if c.reported[pos] {
+				continue
+			}
+			c.reported[pos] = true
+			if st == live {
+				pass.Reportf(pos, "eventown",
+					"pooled event handle %s is released on another path but still live at %s; release it on every path, or use a caller-owned event (NewEvent + Schedule) for a cancellable timer", obj.Name(), where)
+			} else {
+				pass.Reportf(pos, "eventown",
+					"pooled event handle %s is released on only some paths reaching %s; release it unconditionally, or use a caller-owned event (NewEvent + Schedule) for a cancellable timer", obj.Name(), where)
+			}
+		}
+	}
+}
+
+// checker carries the per-function reporting state.
+type checker struct {
+	pass     *analysis.Pass
+	reported map[token.Pos]bool
+}
+
+func (c *checker) reportf(report bool, pos token.Pos, format string, args ...any) {
+	if !report || c.reported[pos] {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Reportf(pos, "eventown", format, args...)
+}
+
+// transfer applies one CFG node to the ownership state. With report set
+// it also emits diagnostics (the replay pass); the solve pass runs it
+// silently to fixpoint first.
+func (c *checker) transfer(n ast.Node, s state, report bool) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		// Uses inside the right-hand sides first (q.Release(h) can hide
+		// in an rhs via ok := q.Remove(h)).
+		for _, rhs := range n.Rhs {
+			c.expr(rhs, s, report)
+		}
+		if len(n.Lhs) == len(n.Rhs) {
+			for i := range n.Lhs {
+				c.bind(n.Lhs[i], n.Rhs[i], s, report)
+			}
+		} else {
+			// h, ok := m[k] and tuple calls cannot produce handles we
+			// recognize; any tracked lhs is rebound to unknown.
+			for _, lhs := range n.Lhs {
+				if obj := identObj(c.pass, lhs); obj != nil {
+					delete(s, obj)
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					c.expr(v, s, report)
+				}
+				if len(vs.Names) == len(vs.Values) {
+					for i := range vs.Names {
+						c.bind(vs.Names[i], vs.Values[i], s, report)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			if obj := identObj(c.pass, r); obj != nil && s[obj] != 0 {
+				c.useCheck(report, r.Pos(), obj, s, "returned")
+				s[obj] = escaped
+			} else {
+				c.expr(r, s, report)
+			}
+		}
+	case *ast.SendStmt:
+		c.expr(n.Chan, s, report)
+		if obj := identObj(c.pass, n.Value); obj != nil && s[obj] != 0 {
+			c.useCheck(report, n.Value.Pos(), obj, s, "sent to another owner")
+			s[obj] = escaped
+		} else {
+			c.expr(n.Value, s, report)
+		}
+	case *ast.ExprStmt:
+		c.expr(n.X, s, report)
+	case *ast.IncDecStmt:
+		c.expr(n.X, s, report)
+	case *ast.GoStmt:
+		c.expr(n.Call, s, report)
+	case *ast.DeferStmt:
+		c.expr(n.Call, s, report)
+	case *ast.RangeStmt:
+		c.expr(n.X, s, report)
+	case ast.Expr:
+		// A branch condition (if/for/switch tag, case expression).
+		c.expr(n, s, report)
+	}
+}
+
+// bind handles one lhs := rhs pair.
+func (c *checker) bind(lhs, rhs ast.Expr, s state, report bool) {
+	lobj := identObj(c.pass, lhs)
+	if call, ok := unparen(rhs).(*ast.CallExpr); ok && isQueueOp(c.pass, call, "PushPooled") {
+		if lobj != nil {
+			s[lobj] = live
+		}
+		return
+	}
+	robj := identObj(c.pass, rhs)
+	if robj != nil && s[robj] != 0 {
+		if lobj != nil {
+			// Alias: the new name takes over the tracked state; the old
+			// name's ownership is considered transferred so a release
+			// through either alias is not misreported.
+			s[lobj] = s[robj]
+			s[robj] = escaped
+			return
+		}
+		// Stored into a field, slice, map, or global: an owner holds it.
+		c.useCheck(report, rhs.Pos(), robj, s, "stored in an owner")
+		s[robj] = escaped
+		return
+	}
+	if lobj != nil && s[lobj] != 0 {
+		// Rebound to something we do not track.
+		delete(s, lobj)
+	}
+}
+
+// expr walks an expression, interpreting queue operations and flagging
+// uses of dead handles. Function-literal bodies are scanned only for
+// handle captures (a capture is an escape), not folded into the flow.
+func (c *checker) expr(e ast.Expr, s state, report bool) {
+	if e == nil {
+		return
+	}
+	ctrlflow.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if c.queueCall(n, s, report) {
+				return false // handle argument consumed by the op
+			}
+			// An unrecognized call that takes a tracked handle as a
+			// direct argument transfers ownership out of the function.
+			for _, arg := range n.Args {
+				if obj := identObj(c.pass, arg); obj != nil && s[obj] != 0 {
+					c.useCheck(report, arg.Pos(), obj, s, "passed to "+callName(n))
+					s[obj] = escaped
+				}
+			}
+			return true
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if obj := identObj(c.pass, v); obj != nil && s[obj] != 0 {
+					c.useCheck(report, v.Pos(), obj, s, "stored in an owner")
+					s[obj] = escaped
+				}
+			}
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if obj := identObj(c.pass, n.X); obj != nil && s[obj] != 0 {
+					c.useCheck(report, n.X.Pos(), obj, s, "address-escaped")
+					s[obj] = escaped
+					return false
+				}
+			}
+			return true
+		case *ast.FuncLit:
+			// Captured handles escape into the closure.
+			ast.Inspect(n.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					if obj, isVar := c.pass.TypesInfo.Uses[id].(*types.Var); isVar && s[obj] != 0 {
+						c.useCheck(report, id.Pos(), obj, s, "captured by a function literal")
+						s[obj] = escaped
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.Ident:
+			// A bare read (comparison, condition, method receiver like
+			// h.Queued()): legal on a live handle, a bug on a dead one.
+			if obj, ok := c.pass.TypesInfo.Uses[n].(*types.Var); ok {
+				switch s[obj] {
+				case released:
+					c.reportf(report, n.Pos(), "pooled event handle %s used after Release; the struct may already back an unrelated timer", obj.Name())
+					s[obj] = escaped
+				case maybe:
+					c.reportf(report, n.Pos(), "pooled event handle %s may have been released on a path reaching this use; restructure so the release dominates or postdominates every use", obj.Name())
+					s[obj] = escaped
+				}
+			}
+		}
+		return true
+	})
+}
+
+// queueCall interprets Release/ShardRelease/Remove/Schedule calls on a
+// queue receiver against the state. It reports whether the call was one
+// of those (so the caller skips generic argument-escape handling).
+func (c *checker) queueCall(call *ast.CallExpr, s state, report bool) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if !queueTypes[analysis.RecvTypeName(c.pass.TypesInfo, sel)] {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Release", "ShardRelease", "Remove":
+		if len(call.Args) < 1 {
+			return false
+		}
+		obj := identObj(c.pass, call.Args[0])
+		if obj == nil || s[obj] == 0 {
+			return false
+		}
+		switch s[obj] {
+		case released:
+			c.reportf(report, call.Pos(), "pooled event handle %s released twice; the second %s recycles a struct that may already back an unrelated timer", obj.Name(), sel.Sel.Name)
+		case maybe:
+			c.reportf(report, call.Pos(), "pooled event handle %s may already have been released on a path reaching this %s; release it exactly once on every path", obj.Name(), sel.Sel.Name)
+		}
+		s[obj] = released
+		return true
+	case "Schedule":
+		if len(call.Args) < 1 {
+			return false
+		}
+		obj := identObj(c.pass, call.Args[0])
+		if obj == nil || s[obj] == 0 {
+			return false
+		}
+		switch s[obj] {
+		case released:
+			c.reportf(report, call.Pos(), "Schedule on released pooled event handle %s; the struct may already back an unrelated timer — allocate with NewEvent for reschedulable timers", obj.Name())
+			s[obj] = escaped
+		case maybe:
+			c.reportf(report, call.Pos(), "pooled event handle %s may have been released on a path reaching this Schedule; a recycled struct must never be rescheduled", obj.Name())
+			s[obj] = escaped
+		}
+		// Scheduling a live handle re-queues it; it stays live.
+		for _, arg := range call.Args[1:] {
+			c.expr(arg, s, report)
+		}
+		return true
+	}
+	return false
+}
+
+// useCheck reports a use of a dead handle in an ownership-transferring
+// position.
+func (c *checker) useCheck(report bool, pos token.Pos, obj types.Object, s state, how string) {
+	switch s[obj] {
+	case released:
+		c.reportf(report, pos, "pooled event handle %s %s after it was released; the struct may already back an unrelated timer", obj.Name(), how)
+	case maybe:
+		c.reportf(report, pos, "pooled event handle %s %s but may have been released on a path reaching here", obj.Name(), how)
+	}
+}
+
+// callName renders the callee of a call for diagnostics ("q.Remove",
+// "helper", or "a call" when unprintable).
+func callName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "a call"
+}
+
+// isQueueOp reports whether call is method name on a Queue/Sharded
+// receiver.
+func isQueueOp(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	return queueTypes[analysis.RecvTypeName(pass.TypesInfo, sel)]
+}
+
+// identObj resolves a (possibly parenthesized) identifier expression to
+// its variable object, or nil.
+func identObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return obj
+	}
+	// A := binding defines the identifier instead of using it.
+	if obj, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return obj
+	}
+	return nil
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,12 @@
+package eventown_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/eventown"
+)
+
+func TestEventown(t *testing.T) {
+	analysistest.Run(t, "testdata/src", eventown.Analyzer, "a", "allow", "clean")
+}

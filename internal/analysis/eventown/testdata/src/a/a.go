@@ -1,0 +1,81 @@
+// Package a seeds every eventown violation class against doubles that
+// mirror the eventq pooling surface. The branch and loop fixtures are
+// the point of the dataflow upgrade: a per-statement AST check cannot
+// see a Release in one arm reaching a use after the join, or a second
+// Release arriving around a loop back edge.
+package a
+
+// Event, Queue, and Sharded mirror internal/eventq's pooled surface.
+type Event struct{ shard int }
+
+func (e *Event) Queued() bool { return false }
+
+type Queue struct{}
+
+func (q *Queue) PushPooled(at int64, fn func(now int64)) *Event { return &Event{} }
+func (q *Queue) Release(e *Event)                               {}
+func (q *Queue) Schedule(e *Event, at int64)                    {}
+func (q *Queue) Remove(e *Event) bool                           { return true }
+
+type Sharded struct{}
+
+func (s *Sharded) PushPooled(shard int, at int64, fn func(now int64)) *Event { return &Event{} }
+func (s *Sharded) ShardRelease(e *Event)                                     {}
+
+// Straight-line use after Release: the baseline.
+func useAfterRelease(q *Queue) {
+	h := q.PushPooled(10, func(now int64) {})
+	q.Release(h)
+	if h.Queued() { // want eventown:"used after Release"
+		return
+	}
+}
+
+// Double release recycles a struct that may already back another timer.
+func doubleRelease(q *Queue) {
+	h := q.PushPooled(10, func(now int64) {})
+	q.Release(h)
+	q.Release(h) // want eventown:"released twice"
+}
+
+// Release in one arm, use after the join: only the CFG sees this.
+func branchThenSchedule(q *Queue, cancel bool) {
+	h := q.PushPooled(10, func(now int64) {})
+	if cancel {
+		q.Release(h)
+	}
+	q.Schedule(h, 20) // want eventown:"may have been released on a path reaching this Schedule"
+}
+
+// Schedule on a definitely released handle.
+func scheduleReleased(q *Queue) {
+	h := q.PushPooled(10, func(now int64) {})
+	q.Release(h)
+	q.Schedule(h, 20) // want eventown:"Schedule on released pooled event handle"
+}
+
+// The second trip around the loop releases again: the may-state arrives
+// via the back edge. The handle is also released on only the iterating
+// paths, so the exit is inconsistent too.
+func loopRelease(q *Queue, n int) {
+	h := q.PushPooled(10, func(now int64) {})
+	for i := 0; i < n; i++ {
+		q.Release(h) // want eventown:"may already have been released on a path reaching this Release"
+	}
+} // want eventown:"released on only some paths"
+
+// Early return leaks the handle the other path releases.
+func leakOnEarlyReturn(q *Queue, fast bool) {
+	h := q.PushPooled(10, func(now int64) {})
+	if fast {
+		return // want eventown:"released on another path but still live at this return"
+	}
+	q.Release(h)
+}
+
+// The sharded queue's release path is the one the parallel window uses.
+func shardedUseAfterRelease(s *Sharded) {
+	h := s.PushPooled(0, 10, func(now int64) {})
+	s.ShardRelease(h)
+	_ = h.Queued() // want eventown:"used after Release"
+}

@@ -1,0 +1,68 @@
+// Package clean holds the sanctioned ownership shapes that must never
+// fire: fire-and-forget, release-on-every-path, rebinding, and the
+// ownership transfers that end tracking.
+package clean
+
+type Event struct{}
+
+func (e *Event) Queued() bool { return false }
+
+type Queue struct{}
+
+func (q *Queue) PushPooled(at int64, fn func(now int64)) *Event { return &Event{} }
+func (q *Queue) Release(e *Event)                               {}
+func (q *Queue) Schedule(e *Event, at int64)                    {}
+
+// fireAndForget never releases: after firing, the event loop itself
+// recycles the struct. Not a leak.
+func fireAndForget(q *Queue) {
+	h := q.PushPooled(10, func(now int64) {})
+	if h.Queued() {
+		return
+	}
+}
+
+// releasedEverywhere releases on both exit paths: consistent, silent.
+func releasedEverywhere(q *Queue, fast bool) {
+	h := q.PushPooled(10, func(now int64) {})
+	if fast {
+		q.Release(h)
+		return
+	}
+	q.Release(h)
+}
+
+// scheduleLive re-queues a live handle: that is what Schedule is for.
+func scheduleLive(q *Queue) {
+	h := q.PushPooled(10, func(now int64) {})
+	q.Schedule(h, 20)
+}
+
+// rebind: a fresh PushPooled into the same variable restarts tracking.
+func rebind(q *Queue) {
+	h := q.PushPooled(10, func(now int64) {})
+	q.Release(h)
+	h = q.PushPooled(20, func(now int64) {})
+	q.Release(h)
+}
+
+// handOff transfers ownership to the callee; the handle's fate is the
+// callee's business.
+func handOff(q *Queue, sink func(*Event)) {
+	h := q.PushPooled(10, func(now int64) {})
+	sink(h)
+}
+
+// storeInOwner parks the handle in a struct an owner manages.
+type holder struct{ ev *Event }
+
+func storeInOwner(q *Queue, hold *holder) {
+	h := q.PushPooled(10, func(now int64) {})
+	hold.ev = h
+}
+
+// returned handles belong to the caller.
+func handedBack(q *Queue) *Event {
+	h := q.PushPooled(10, func(now int64) {})
+	return h
+}

@@ -24,15 +24,11 @@
 //     restructured into deterministic receives (or annotated
 //     //lint:allow-select where the nondeterminism provably cannot
 //     reach any output, as in the Runner's internals).
-//   - machine-global simulator operations (Machine.Stop, Sync, NewTask,
-//     SetCoreOnline, RNG) called from inside a goroutine launched with
-//     a go statement: those methods are event-loop-only — the simulator
-//     tripwires panic when they run inside a parallel lookahead window,
-//     and outside one the call order would depend on goroutine
-//     scheduling. Shard workers operate through their own shard's state
-//     and defer global effects to the merge point
-//     (//lint:allow-machineglobal marks a call that is provably
-//     serialised, e.g. under the machine's own window barrier).
+//
+// Machine-global simulator calls from worker goroutines, which this
+// analyzer used to flag per-statement, are now the depth-0 case of the
+// call-graph-aware windowsafe analyzer (same machineglobal category and
+// directive vocabulary).
 package nodeterm
 
 import (
@@ -45,7 +41,7 @@ import (
 // Analyzer is the nodeterm analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "nodeterm",
-	Doc:  "forbid wall-clock reads, global math/rand, nondeterministically seeded sources, racy selects, and machine-global calls from worker goroutines",
+	Doc:  "forbid wall-clock reads, global math/rand, nondeterministically seeded sources, and racy selects",
 	Run:  run,
 }
 
@@ -84,14 +80,6 @@ var sourceCtors = map[string]bool{
 	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
 }
 
-// machineGlobal lists the Machine methods that are event-loop-only:
-// each either panics behind a window tripwire or mutates machine-wide
-// state whose update order must not depend on goroutine scheduling.
-var machineGlobal = map[string]bool{
-	"Stop": true, "Sync": true, "NewTask": true,
-	"SetCoreOnline": true, "RNG": true,
-}
-
 func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -102,47 +90,11 @@ func run(pass *analysis.Pass) error {
 				checkSeedProvenance(pass, n)
 			case *ast.SelectStmt:
 				checkSelect(pass, n)
-			case *ast.GoStmt:
-				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
-					checkWorkerMachineCalls(pass, lit)
-				}
 			}
 			return true
 		})
 	}
 	return nil
-}
-
-// checkWorkerMachineCalls flags machine-global Machine method calls
-// inside a goroutine launched with a go statement. The receiver is
-// matched by its named type, so test doubles named Machine are covered
-// too.
-func checkWorkerMachineCalls(pass *analysis.Pass, lit *ast.FuncLit) {
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || !machineGlobal[sel.Sel.Name] {
-			return true
-		}
-		selection := pass.TypesInfo.Selections[sel]
-		if selection == nil {
-			return true
-		}
-		recv := selection.Recv()
-		if ptr, ok := recv.(*types.Pointer); ok {
-			recv = ptr.Elem()
-		}
-		named, ok := recv.(*types.Named)
-		if !ok || named.Obj().Name() != "Machine" {
-			return true
-		}
-		pass.Reportf(call.Pos(), "machineglobal",
-			"Machine.%s is a machine-global, event-loop-only operation; a worker goroutine must act through its own shard's state and defer global effects to the merge point after the window", sel.Sel.Name)
-		return true
-	})
 }
 
 // pkgFunc resolves sel to a package-level function and returns its

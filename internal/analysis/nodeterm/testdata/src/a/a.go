@@ -48,27 +48,5 @@ func racySelect(a, b chan int) int {
 	}
 }
 
-// Machine mirrors sim.Machine's machine-global surface; the analyzer
-// matches the named type, so this double exercises the same code path.
-type Machine struct{}
-
-func (m *Machine) Stop()                       {}
-func (m *Machine) Sync()                       {}
-func (m *Machine) NewTask(name string)         {}
-func (m *Machine) SetCoreOnline(c int, o bool) {}
-func (m *Machine) RNG() int                    { return 0 }
-func (m *Machine) drainShard(s int)            {}
-
-func workerCallsMachineGlobals(m *Machine, done chan struct{}) {
-	for s := 0; s < 4; s++ {
-		go func(s int) {
-			m.drainShard(s)
-			m.Sync()                  // want "Machine.Sync is a machine-global, event-loop-only operation"
-			m.NewTask("straggler")    // want "Machine.NewTask is a machine-global, event-loop-only operation"
-			m.SetCoreOnline(s, false) // want "Machine.SetCoreOnline is a machine-global, event-loop-only operation"
-			_ = m.RNG()               // want "Machine.RNG is a machine-global, event-loop-only operation"
-			m.Stop()                  // want "Machine.Stop is a machine-global, event-loop-only operation"
-			done <- struct{}{}
-		}(s)
-	}
-}
+// Worker-goroutine fixtures for machine-global calls live in the
+// windowsafe corpus now: that analyzer owns the machineglobal category.

@@ -32,15 +32,3 @@ func wrongCategoryDoesNotLeak() {
 	// An allow for a different category must not suppress this.
 	time.Sleep(time.Millisecond) //lint:allow-rand // want "time.Sleep reads the wall clock"
 }
-
-// Machine mirrors sim.Machine for the machineglobal escape hatch.
-type Machine struct{}
-
-func (m *Machine) Stop() {}
-
-func sanctionedWorkerStop(m *Machine, fatal chan struct{}) {
-	go func() {
-		<-fatal
-		m.Stop() //lint:allow-machineglobal fatal-error path, machine already quiescent
-	}()
-}

@@ -46,36 +46,3 @@ func methodNamedNow() int64 {
 	var s stopwatch
 	return s.Now()
 }
-
-// Machine mirrors sim.Machine's surface for the worker-goroutine rule.
-type Machine struct{}
-
-func (m *Machine) Stop()            {}
-func (m *Machine) Sync()            {}
-func (m *Machine) drainShard(s int) {}
-
-// eventLoopStop calls machine-global methods from the event loop — the
-// sanctioned place — and the worker touches only shard-scoped methods.
-func eventLoopStop(m *Machine, done chan struct{}) {
-	for s := 0; s < 4; s++ {
-		go func(s int) {
-			m.drainShard(s) // shard-scoped: must not fire
-			done <- struct{}{}
-		}(s)
-	}
-	m.Sync()
-	m.Stop()
-}
-
-type lab struct{}
-
-// Stop on a type not named Machine must not fire, even in a worker.
-func (lab) Stop() {}
-
-func stopsSomethingElse(done chan struct{}) {
-	var l lab
-	go func() {
-		l.Stop()
-		done <- struct{}{}
-	}()
-}

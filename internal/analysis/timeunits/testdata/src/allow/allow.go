@@ -1,0 +1,14 @@
+// Package allow exercises the timeunits escape hatch.
+package allow
+
+import "time"
+
+type Timer struct{}
+
+func (t *Timer) Schedule(at int64) {}
+
+// sanctionedMix pins a sim epoch to the wall epoch on purpose — the
+// directive documents why and keeps the analyzer silent.
+func sanctionedMix(t *Timer) {
+	t.Schedule(time.Now().UnixNano()) //lint:allow-timeunits replay harness aligns the sim epoch with the wall epoch
+}

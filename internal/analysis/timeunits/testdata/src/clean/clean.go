@@ -1,0 +1,73 @@
+// Package clean holds the sanctioned unit-crossing idioms that must
+// never fire: now + int64(d), duration-since-start Run/At on a fresh
+// machine, untracked values mixed with durations, and wall time kept to
+// progress reporting.
+package clean
+
+import "time"
+
+type Machine struct {
+	q Queue
+}
+
+func (m *Machine) Now() int64                      { return 0 }
+func (m *Machine) Run(until int64) int64           { return until }
+func (m *Machine) At(at int64, fn func(now int64)) {}
+
+type Event struct{ At int64 }
+
+type Queue struct{}
+
+func (q *Queue) Push(at int64, fn func(now int64)) *Event { return &Event{} }
+func (q *Queue) Schedule(e *Event, at int64)              {}
+
+// scheduleNext is the conversion-site idiom: base + int64(duration).
+func scheduleNext(q *Queue, e *Event, m *Machine, interval time.Duration) {
+	q.Schedule(e, m.Now()+int64(interval))
+}
+
+// runForDuration: "run until int64(d)" on a fresh machine is
+// duration-since-start, the repo's pervasive test idiom — Machine.Run
+// and At accept it by design.
+func runForDuration(m *Machine) int64 {
+	return m.Run(int64(10 * time.Second))
+}
+
+func atOffset(m *Machine) {
+	m.At(int64(6*time.Millisecond), func(now int64) {})
+}
+
+// directCallback: the callback's now parameter is simulated time, so
+// now + int64(interval) is SimTime and the nested re-push is clean.
+func directCallback(q *Queue, interval time.Duration) {
+	q.Push(1000, func(now int64) {
+		q.Push(now+int64(interval), func(int64) {})
+	})
+}
+
+// periodicTimer re-pushes through a named closure: the now parameter is
+// untracked there, and untracked + duration stays untracked — the
+// analyzer only reports provable unit errors.
+func periodicTimer(q *Queue, interval time.Duration) {
+	var tick func(now int64)
+	tick = func(now int64) {
+		q.Push(now+int64(interval), tick)
+	}
+	q.Push(0, tick)
+}
+
+// spanCompare: subtracting two sim timestamps yields a span, and spans
+// compare against durations freely.
+func spanCompare(m *Machine, budget time.Duration) bool {
+	start := m.Now()
+	end := m.Run(start + int64(budget))
+	return end-start > int64(budget)
+}
+
+// progressLog keeps wall time out of the simulation: measuring how long
+// a run took is exactly what the wall clock is for.
+func progressLog(m *Machine) (int64, time.Duration) {
+	sw := time.Now()
+	end := m.Run(int64(time.Second))
+	return end, time.Since(sw)
+}

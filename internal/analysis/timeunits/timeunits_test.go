@@ -1,0 +1,12 @@
+package timeunits_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/timeunits"
+)
+
+func TestTimeunits(t *testing.T) {
+	analysistest.Run(t, "testdata/src", timeunits.Analyzer, "a", "allow", "clean")
+}

@@ -1,0 +1,90 @@
+// Package a seeds every windowsafe violation class. The Machine/metrics
+// doubles mirror the sim and metrics surfaces; the analyzer matches
+// receivers by named type, so these exercise the same code paths. The
+// deep fixtures are the point of the call-graph upgrade: hazards the old
+// per-statement check could never see because they sit behind helper
+// calls.
+package a
+
+// Machine mirrors sim.Machine's machine-global and shard surfaces.
+type Machine struct{ n int }
+
+func (m *Machine) Stop()                       {}
+func (m *Machine) Sync()                       {}
+func (m *Machine) NewTask(name string)         {}
+func (m *Machine) SetCoreOnline(c int, o bool) {}
+func (m *Machine) RNG() int                    { return 0 }
+func (m *Machine) Emit(kind string)            {}
+func (m *Machine) drainShard(s int)            {}
+
+// Counter/Registry mirror the metrics surface.
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+var totalSteals int64
+
+// workerCallsMachineGlobals is the depth-0 case the old nodeterm check
+// covered: machine-global calls directly inside the go-launched literal.
+func workerCallsMachineGlobals(m *Machine, done chan struct{}) {
+	for s := 0; s < 4; s++ {
+		go func(s int) {
+			m.drainShard(s)
+			m.Sync()                  // want machineglobal:"Machine.Sync is a machine-global, event-loop-only operation"
+			m.NewTask("straggler")    // want machineglobal:"Machine.NewTask is a machine-global, event-loop-only operation"
+			m.SetCoreOnline(s, false) // want machineglobal:"Machine.SetCoreOnline is a machine-global, event-loop-only operation"
+			_ = m.RNG()               // want machineglobal:"Machine.RNG is a machine-global, event-loop-only operation"
+			m.Stop()                  // want machineglobal:"Machine.Stop is a machine-global, event-loop-only operation"
+			done <- struct{}{}
+		}(s)
+	}
+}
+
+// mergeResults sits two call-graph edges below the worker literal; the
+// per-statement check was blind to it. The diagnostic must carry the
+// witness path.
+func (m *Machine) mergeResults() {
+	m.Sync() // want machineglobal:"reachable from a go-launched worker via \\(\\*Machine\\)\\.finishShard → \\(\\*Machine\\)\\.mergeResults"
+}
+
+func (m *Machine) finishShard(s int) {
+	m.drainShard(s)
+	m.mergeResults()
+}
+
+func workerDeepHazard(m *Machine, done chan struct{}) {
+	go func() {
+		m.finishShard(0)
+		done <- struct{}{}
+	}()
+}
+
+// workerEmits: observability is detached while windows are open, so any
+// emission on a worker path is a hazard — including a registry lookup,
+// which lazily allocates.
+func workerEmits(m *Machine, c *Counter, r *Registry, done chan struct{}) {
+	go func() {
+		m.Emit("tick")      // want windowsafe:"Machine.Emit emits tracer/metrics state shared across shards"
+		c.Inc()             // want windowsafe:"Counter.Inc emits tracer/metrics state shared across shards"
+		r.Counter("steals") // want windowsafe:"Registry.Counter emits tracer/metrics state shared across shards"
+		done <- struct{}{}
+	}()
+}
+
+// bumpGlobal is reachable from the worker below: a package-level write
+// one helper deep.
+func bumpGlobal() {
+	totalSteals++ // want windowsafe:"write to package-level variable totalSteals"
+}
+
+func workerWritesGlobal(done chan struct{}) {
+	go func() {
+		totalSteals = 0 // want windowsafe:"write to package-level variable totalSteals"
+		bumpGlobal()
+		done <- struct{}{}
+	}()
+}

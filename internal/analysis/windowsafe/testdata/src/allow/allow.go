@@ -1,0 +1,34 @@
+// Package allow exercises the windowsafe escape hatches: every
+// construct here would fire without its directive, so any diagnostic in
+// this package is a suppression bug — except the one that asserts a
+// directive for the wrong category does not leak across.
+package allow
+
+// Machine mirrors sim.Machine's surface.
+type Machine struct{}
+
+func (m *Machine) Stop()            {}
+func (m *Machine) Emit(kind string) {}
+
+func sanctionedWorkerStop(m *Machine, fatal chan struct{}) {
+	go func() {
+		<-fatal
+		m.Stop() //lint:allow-machineglobal fatal-error path, machine already quiescent
+	}()
+}
+
+func sanctionedEmit(m *Machine, done chan struct{}) {
+	go func() {
+		m.Emit("final") //lint:allow-windowsafe runs after the window barrier, provably serialised
+		done <- struct{}{}
+	}()
+}
+
+func wrongCategoryDoesNotLeak(m *Machine, done chan struct{}) {
+	go func() {
+		// machineglobal findings need a machineglobal allow; a windowsafe
+		// directive must not cover them.
+		m.Stop() //lint:allow-windowsafe wrong category on purpose // want machineglobal:"Machine.Stop is a machine-global, event-loop-only operation"
+		done <- struct{}{}
+	}()
+}

@@ -1,0 +1,63 @@
+// Package clean holds worker patterns that must never fire: shard-scoped
+// calls, machines the goroutine constructs for itself, event-loop calls
+// outside any goroutine, and hazard-named methods on unrelated types.
+package clean
+
+// Machine mirrors sim.Machine's surface.
+type Machine struct{}
+
+func NewMachine() *Machine { return &Machine{} }
+
+func (m *Machine) Run(until int64) int64 { return until }
+func (m *Machine) Stop()                 {}
+func (m *Machine) Sync()                 {}
+func (m *Machine) drainShard(s int)      {}
+
+// eventLoopStop calls machine-global methods from the event loop — the
+// sanctioned place — and the workers touch only shard-scoped methods.
+func eventLoopStop(m *Machine, done chan struct{}) {
+	for s := 0; s < 4; s++ {
+		go func(s int) {
+			m.drainShard(s) // shard-scoped: must not fire
+			done <- struct{}{}
+		}(s)
+	}
+	m.Sync()
+	m.Stop()
+}
+
+// perGoroutineMachine is the speedbalance CLI pattern: each goroutine
+// builds and runs its own machine. The receiver chain roots at a
+// variable declared inside the worker body, so every call is
+// goroutine-local and exempt.
+func perGoroutineMachine(results chan int64) {
+	go func() {
+		m := NewMachine()
+		end := m.Run(1000)
+		m.Stop()
+		results <- end
+	}()
+}
+
+type lab struct{}
+
+// Stop on a type not named Machine must not fire, even in a worker.
+func (lab) Stop() {}
+
+func stopsSomethingElse(done chan struct{}) {
+	var l lab
+	go func() {
+		l.Stop()
+		done <- struct{}{}
+	}()
+}
+
+// localCounters: writes to locals are not global writes.
+func localCounters(done chan struct{}) {
+	go func() {
+		steals := 0
+		steals++
+		_ = steals
+		done <- struct{}{}
+	}()
+}

@@ -1,0 +1,12 @@
+package windowsafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/windowsafe"
+)
+
+func TestWindowsafe(t *testing.T) {
+	analysistest.Run(t, "testdata/src", windowsafe.Analyzer, "a", "allow", "clean")
+}

@@ -64,6 +64,7 @@ func TestPoolRecycling(t *testing.T) {
 	p1 := q.PushPooled(1, func(Time) {})
 	q.Pop()
 	q.Release(p1)
+	//lint:allow-eventown pool-identity probe, reading the released struct is the point
 	if p1.Fire != nil {
 		t.Error("Release did not drop the pooled event's closure")
 	}
@@ -76,6 +77,7 @@ func TestPoolRecycling(t *testing.T) {
 		t.Fatal("Remove(pooled) = false")
 	}
 	p3 := q.PushPooled(3, func(Time) {})
+	//lint:allow-eventown pool-identity probe, comparing against the recycled handle is the point
 	if p3 != p2 {
 		t.Error("Remove did not return the pooled event to the free list")
 	}
