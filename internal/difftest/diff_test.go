@@ -8,10 +8,13 @@ import (
 // drivers is the experiment sample the equivalence matrix runs: the
 // core paper figures plus the perturbed drivers (fault injection
 // exercises hotplug drains, kthread daemons and frequency steps through
-// the sharded merge), plus the analytic fig1 (no simulated cells — its
-// capture must still round-trip the harness identically).
+// the sharded merge), the analytic fig1 (no simulated cells — its
+// capture must still round-trip the harness identically), and the
+// open-system bakeoff (mid-run task admission and departure on every
+// engine configuration).
 var drivers = []string{
 	"fig1", "fig2", "fig3t", "fig5", "abl-jit", "noise-omps", "hotplug-churn",
+	"open-bakeoff",
 }
 
 // matrix is the engine grid every driver must traverse without changing

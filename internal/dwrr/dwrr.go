@@ -129,6 +129,14 @@ func (q *Queue) Enqueue(t *task.Task, wakeup bool) bool {
 	if t.Sched.OnQueue {
 		panic(fmt.Sprintf("dwrr: double enqueue of %q", t.Name))
 	}
+	if t.Sched.Round < q.round {
+		// The task's recorded round is behind the queue's: it slept (or
+		// arrived) across a round boundary, so whatever it consumed was
+		// consumed in a round that has already closed. Without this reset
+		// a task that dozed off just short of its slice woke into the new
+		// round pre-expired — charged twice for the same CPU time.
+		t.Sched.RoundUsed = 0
+	}
 	t.Sched.Round = q.round
 	if t.Sched.RoundUsed >= q.g.cfg.RoundSlice {
 		// Already exhausted this round elsewhere: expired.

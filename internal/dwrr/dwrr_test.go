@@ -149,3 +149,43 @@ func TestMigrationVolume(t *testing.T) {
 		t.Errorf("steals = %d, want ≥ 20 (DWRR migrates aggressively)", g.Steals())
 	}
 }
+
+// A task that sleeps across round boundaries must wake with a fresh
+// round budget: whatever RoundUsed it carries was spent in a round that
+// has already closed while it slept. Before the reset in Enqueue, such
+// a sleeper woke pre-charged (here 95 of 100 ms), computed only the
+// 5 ms remainder, and then sat in the expired queue for the hog's whole
+// remaining round — an extra ~100 ms of latency on every wake cycle,
+// which this end-to-end bound catches.
+func TestWakeAcrossRoundsGetsFreshBudget(t *testing.T) {
+	factory, _ := dwrr.NewFactory(dwrr.Config{
+		RoundSlice: 100 * time.Millisecond,
+		Slice:      10 * time.Millisecond,
+	})
+	m := sim.New(topo.SMP(1), sim.Config{Seed: 31, NewScheduler: factory})
+	hog := m.NewTask("hog", &task.ComputeForever{Chunk: 1e9})
+	m.Start(hog)
+	const iters = 20
+	sleeper := m.NewTask("sleeper", &task.Loop{
+		Iterations: iters,
+		Body: func(int) []task.Action {
+			return []task.Action{
+				task.Compute{Work: 95e6},
+				task.Sleep{D: 300 * time.Millisecond},
+			}
+		},
+	})
+	m.Start(sleeper)
+	m.Run(int64(time.Minute))
+	if sleeper.State != task.Done {
+		t.Fatalf("sleeper state %v, want done", sleeper.State)
+	}
+	// Each cycle is ~190 ms of interleaved compute (fair share against
+	// the hog) plus the 300 ms sleep; the stale-budget bug adds an
+	// expired-queue wait of up to a full round per cycle on top.
+	elapsed := time.Duration(sleeper.FinishedAt - sleeper.StartedAt)
+	t.Logf("sleeper finished in %v", elapsed)
+	if elapsed > iters*450*time.Millisecond {
+		t.Errorf("sleeper took %v for %d cycles — woke pre-charged with a stale round budget?", elapsed, iters)
+	}
+}

@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig5", "fig6", "table2", "table3", "ompS",
 		"abl-ts", "abl-int", "abl-jit", "abl-numa", "abl-pull",
 		"ext-smt", "ext-measure", "ext-swap",
-		"noise-omps", "hotplug-churn",
+		"noise-omps", "hotplug-churn", "open-bakeoff",
 	}
 	for _, id := range want {
 		e, err := ByID(id)

@@ -94,6 +94,10 @@ type RunResult struct {
 	// Truncated reports that the simulated time limit expired before the
 	// application finished (Elapsed is then the limit and Speedup 0).
 	Truncated bool
+	// Out carries a custom cell's payload when the fields above don't
+	// fit (SubmitFunc cells); aggregate it in the ordered result
+	// callback, never through shared state in the cell function.
+	Out any
 }
 
 // Run executes one measurement.

@@ -108,7 +108,7 @@ type coreState struct {
 	// by fork placement.
 	staleLoad int64
 	// cpuLoad is the decayed per-tick load average (rq->cpu_load[] at
-	// the busy index): cpuLoad = (3*cpuLoad + instantaneous)/4 each
+	// the busy index): cpuLoad = (7*cpuLoad + instantaneous)/8 each
 	// tick. Busy-interval balancing reads load through this average so
 	// short bursts of high-weight activity stay visible between ticks.
 	cpuLoad int64

@@ -39,6 +39,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/linuxlb"
 	"repro/internal/metrics"
+	"repro/internal/openload"
 	"repro/internal/perturb"
 	"repro/internal/sim"
 	"repro/internal/speedbal"
@@ -136,6 +137,11 @@ func Suite() []Spec {
 			Desc:  "1,024-core fabric: 16 socket-pinned apps on 16 parallel event shards",
 			bench: fabric1kBench,
 		},
+		{
+			Name:  "open",
+			Desc:  "open-system arrivals at rho=0.8 under the Linux balancer, tracing off",
+			bench: openBench,
+		},
 		experimentCase("fig2", "round-robin vs load-balanced placement sweep"),
 		experimentCase("fig3t", "speedup of NAS-like benchmarks under the balancers"),
 		experimentCase("fig5", "multiprogrammed speedup"),
@@ -220,6 +226,27 @@ func perturbBench(b *testing.B) int64 {
 	bal := speedbal.New(speedbal.Config{})
 	bal.Launch(m, app)
 	m.RunFor(time.Second)
+	before := m.Stats.Events
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.RunFor(100 * time.Millisecond)
+	}
+	b.StopTimer()
+	return int64(m.Stats.Events - before)
+}
+
+// openBench measures the open-system admission/departure hot path: an
+// endless-horizon openload generator at ρ=0.8 on the 16-core Tigerton
+// under the Linux balancer, advanced 100 ms per op. Each op covers the
+// whole arrival pipeline — exponential draws, control-queue timers,
+// task creation, placement, per-job accounting on departure — on top of
+// the scheduler traffic the admitted jobs generate.
+func openBench(b *testing.B) int64 {
+	m := sim.New(topo.Tigerton(), sim.Config{Seed: suiteSeed, NewScheduler: cfs.Factory()})
+	m.AddActor(linuxlb.Default())
+	m.AddActor(openload.New(openload.Config{Rho: 0.8}))
+	m.RunFor(time.Second) // reach steady state
 	before := m.Stats.Events
 	b.ResetTimer()
 	b.ReportAllocs()

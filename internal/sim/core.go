@@ -299,6 +299,20 @@ func (c *Core) begin(t *task.Task) {
 	}
 	t.State = task.Running
 	t.LastRanAt = now
+	if t.FirstRanAt < 0 {
+		t.FirstRanAt = now
+	}
+	if t.WakeArmed {
+		// Close the wake-to-run window opened at the wakeup enqueue.
+		t.WakeArmed = false
+		if d := now - t.LastEnqueuedAt; d >= 0 {
+			t.WakeLatSum += d
+			t.WakeLatN++
+			if d > t.WakeLatMax {
+				t.WakeLatMax = d
+			}
+		}
+	}
 	c.cur = t
 	c.runStart = now
 	c.stintStart = now

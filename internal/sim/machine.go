@@ -177,6 +177,7 @@ type Machine struct {
 	placer   Placer
 	idleFns   []func(c *Core)
 	doneFns   []func(t *task.Task)
+	startFns  []func(t *task.Task)
 	moveFns   []func(t *task.Task, from, to int)
 	onlineFns []func(c *Core, online bool)
 	nOnline   int
@@ -728,6 +729,18 @@ func (m *Machine) OnIdle(fn func(c *Core)) { m.idleFns = append(m.idleFns, fn) }
 // OnTaskDone registers a hook invoked when any task exits.
 func (m *Machine) OnTaskDone(fn func(t *task.Task)) { m.doneFns = append(m.doneFns, fn) }
 
+// OnTaskStart registers a hook invoked when any task is admitted
+// (Start/StartOn), symmetric to OnTaskDone. The hook fires after the
+// task is placed (State Runnable, CoreID set) but before its first
+// action is fetched. Admission is a machine-global operation — it
+// happens at setup or from global (control-queue) events, never inside
+// a parallel shard window — so balancers may use the hook to learn
+// about mid-run arrivals: a wake loop that drained because every
+// managed thread had exited can re-arm its timers here instead of
+// missing every later arrival (the closed-batch bookkeeping bug the
+// open-system workloads flushed out).
+func (m *Machine) OnTaskStart(fn func(t *task.Task)) { m.startFns = append(m.startFns, fn) }
+
 // NewTask creates a task with the given program, default nice and full
 // affinity, but does not start it.
 func (m *Machine) NewTask(name string, prog task.Program) *task.Task {
@@ -737,12 +750,13 @@ func (m *Machine) NewTask(name string, prog task.Program) *task.Task {
 		panic("sim: NewTask inside a parallel shard window")
 	}
 	t := &task.Task{
-		ID:       m.nextTask,
-		Name:     name,
-		Prog:     prog,
-		Affinity: m.Topo.AllCores(),
-		HomeNode: -1,
-		CoreID:   -1,
+		ID:         m.nextTask,
+		Name:       name,
+		Prog:       prog,
+		Affinity:   m.Topo.AllCores(),
+		HomeNode:   -1,
+		CoreID:     -1,
+		FirstRanAt: -1,
 	}
 	t.Sched.Weight = task.NiceWeight(0)
 	m.nextTask++
@@ -790,6 +804,9 @@ func (m *Machine) StartOn(t *task.Task, core int) {
 	}
 	for _, fn := range m.moveFns {
 		fn(t, -1, core)
+	}
+	for _, fn := range m.startFns {
+		fn(t)
 	}
 	m.advance(t) // fetch the first action
 	if t.State == task.Runnable {
@@ -844,6 +861,14 @@ func (m *Machine) enqueue(t *task.Task, core int, wakeup bool) {
 	}
 	t.CoreID = core
 	t.LastEnqueuedAt = m.clock(core)
+	if wakeup {
+		// Arm the wake-to-run latency measurement: the core's next
+		// dispatch of this task closes the window against LastEnqueuedAt.
+		// A migration before that dispatch re-stamps LastEnqueuedAt, so
+		// the measured latency is from the task's last queue entry — the
+		// queue whose dispatch actually serviced the wake.
+		t.WakeArmed = true
+	}
 	preempt := c.sched.Enqueue(t, wakeup)
 	if c.cur == nil {
 		c.dispatch()

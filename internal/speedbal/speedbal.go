@@ -247,7 +247,10 @@ func (b *Balancer) Launch(m *sim.Machine, app *spmd.App) {
 }
 
 // Manage registers the threads and the managed core set without starting
-// anything; use with AddActor for already-running tasks.
+// anything; use with AddActor for already-running tasks. Calling it again
+// mid-run admits a new batch of threads: the managed core set stays fixed
+// at what Start saw (the per-core state arrays are sized then), and a
+// wake loop that drained after the previous batch finished is re-armed.
 func (b *Balancer) Manage(m *sim.Machine, threads []*task.Task, cores cpuset.Set) {
 	if cores.Empty() {
 		cores = m.Topo.AllCores()
@@ -257,7 +260,11 @@ func (b *Balancer) Manage(m *sim.Machine, threads []*task.Task, cores cpuset.Set
 			b.addManaged(t)
 		}
 	}
-	b.cores = cores.Cores()
+	if b.wakeTimers == nil {
+		b.cores = cores.Cores()
+	} else if !b.stopped {
+		b.ensureTimers(b.m.Now())
+	}
 }
 
 // addManaged appends a thread to the managed set at the next rank and,
@@ -310,6 +317,7 @@ func (b *Balancer) Start(m *sim.Machine) {
 	}
 	m.OnCoreChange(b.noteMove)
 	m.OnTaskDone(b.noteDone)
+	m.OnTaskStart(b.noteStart)
 	m.OnOnlineChange(b.noteOnline)
 	// The balancer threads may ride their cores' shard queues — and so
 	// run inside parallel windows — only when every core they can read
@@ -385,6 +393,38 @@ func (b *Balancer) noteOnline(c *sim.Core, online bool) {
 	b.lastStolen[j] = c.StolenWall()
 }
 
+// noteStart is the admission-side mirror of noteDone: the machine
+// invokes it when a task first reaches a core. The wake timers
+// deliberately die when there is nothing left to balance (allDone for a
+// fixed set, or a drained machine under a rescan group); before this
+// hook, a thread admitted afterwards — an open-system arrival, or a
+// late Manage batch — was never balanced because no timer remained to
+// observe it. Admission re-arms the loop. Task starts are machine-global
+// events (never inside a parallel shard window), so the re-arm happens
+// at a globally synchronised instant on every engine configuration.
+func (b *Balancer) noteStart(t *task.Task) {
+	if b.stopped || b.wakeTimers == nil {
+		return
+	}
+	if _, ok := b.managedSet[t]; !ok {
+		if b.cfg.RescanGroup == "" || t.Group != b.cfg.RescanGroup {
+			return
+		}
+	}
+	b.ensureTimers(b.m.Now())
+}
+
+// ensureTimers restarts every dead wake timer one interval (plus jitter)
+// from now. Pending timers are left alone, so a burst of admissions
+// neither postpones nor duplicates an already-scheduled pass.
+func (b *Balancer) ensureTimers(now int64) {
+	for j := range b.wakeTimers {
+		if !b.wakeTimers[j].Pending() {
+			b.wakeTimers[j].Schedule(now + int64(b.cfg.Interval) + b.jitter())
+		}
+	}
+}
+
 // noteDone drops an exited managed thread from its membership list and
 // purges its speed-accounting map entries, keeping both bounded across
 // churny workloads.
@@ -444,13 +484,16 @@ func (b *Balancer) wake(j int, now int64) {
 		b.rescan(now)
 	}
 	if b.allDone() && b.cfg.RescanGroup == "" {
-		// A dynamic group may grow again; a fixed one is finished.
+		// Fixed set finished: let the wake loop drain. A later Manage
+		// batch or task admission restarts it through noteStart.
 		return
 	}
 	if b.cfg.RescanGroup != "" && b.m.LiveTasks() == 0 {
 		// Dynamic group, machine drained: with no live task left to
 		// spawn new group members, rescanning forever would keep the
-		// event queue busy after the workload has exited.
+		// event queue busy after the workload has exited. A mid-run
+		// admission (an open-system arrival) re-arms the loop through
+		// noteStart, so dying here is safe, not just frugal.
 		return
 	}
 	if !b.m.Cores[b.cores[j]].Online() {

@@ -324,3 +324,86 @@ func TestHotplugUnplugReplug(t *testing.T) {
 		t.Errorf("core 3 busy time did not grow after replug (at replug %v, final %v)", busyAtReplug, got)
 	}
 }
+
+// Regression (PR 8): a rescan-group balancer whose machine fully drained
+// must wake again when a new group member is admitted. Before the
+// admission hook, the wake timers died at the drain (correctly — an
+// empty machine must not be polled forever) but nothing restarted them,
+// so an open-system arrival into the idle machine was never adopted or
+// balanced.
+func TestAdmissionIntoDrainedMachineRearms(t *testing.T) {
+	m := newMachine(21)
+	sb := speedbal.New(speedbal.Config{RescanGroup: "dyn"})
+	m.AddActor(sb)
+
+	first := m.NewTask("dyn.0", &task.Seq{Actions: []task.Action{task.Compute{Work: 300e6}}})
+	first.Group = "dyn"
+	m.Start(first)
+
+	// Admit the second batch well after the machine drained and every
+	// wake timer gave up: three threads into two cores, the §1 imbalance
+	// the balancer exists to fix.
+	var second []*task.Task
+	m.After(3*time.Second, func(int64) {
+		for i := 0; i < 3; i++ {
+			tk := m.NewTask("dyn.late", &task.Seq{Actions: []task.Action{task.Compute{Work: 500e6}}})
+			tk.Group = "dyn"
+			second = append(second, tk)
+			m.StartOn(tk, i%2)
+		}
+	})
+	m.Run(int64(time.Hour))
+
+	if first.State != task.Done {
+		t.Fatalf("first task in state %v", first.State)
+	}
+	for i, tk := range second {
+		if tk.State != task.Done {
+			t.Errorf("late task %d in state %v, want done", i, tk.State)
+		}
+	}
+	// Adoption happens only inside a balancer wake; 4 adoptions prove the
+	// loop restarted after the drain.
+	if sb.Adopted != 4 {
+		t.Errorf("adopted %d tasks, want 4 (wake loop never re-armed?)", sb.Adopted)
+	}
+}
+
+// Regression (PR 8): a fixed-set balancer finishes its batch, drains its
+// wake loop, and is then handed a second batch via Manage mid-run. The
+// re-Manage (and the admission hook behind it) must restart the loop —
+// the imbalanced second batch gets no migrations otherwise.
+func TestManageAfterAllDoneRearms(t *testing.T) {
+	m := newMachine(23)
+	app1 := spmd.Build(m, spmd.Spec{
+		Name: "batch1", Threads: 2, Iterations: 1, WorkPerIteration: 200e6,
+		Model: spmd.UPC(), Affinity: cpuset.All(2),
+	})
+	sb := speedbal.Default()
+	sb.Launch(m, app1)
+
+	var app2 *spmd.App
+	m.After(3*time.Second, func(int64) {
+		app2 = spmd.Build(m, epThreeOnTwo(2e9))
+		app2.StartPinned()
+		sb.Manage(m, app2.Tasks, cpuset.All(2))
+	})
+	m.Run(int64(time.Hour))
+
+	if !app1.Done() {
+		t.Fatal("first batch did not finish")
+	}
+	if app2 == nil || !app2.Done() {
+		t.Fatal("second batch did not finish")
+	}
+	// The 3-on-2 EP batch needs pulls to equalise thread speeds; zero
+	// migrations means no balancer thread ever woke for it.
+	if sb.Migrations == 0 {
+		t.Error("no migrations for the mid-run batch — wake loop never re-armed")
+	}
+	// And the balancing must actually have helped: elapsed near the 1.5W
+	// ideal, not the 2W static split.
+	if el := app2.Elapsed(); float64(el) > 1.3*1.5e9*2 {
+		t.Errorf("second batch elapsed %v, want well under the 2W static split", el)
+	}
+}

@@ -118,6 +118,65 @@ func TestEdgeCaseRatios(t *testing.T) {
 	}
 }
 
+// Percentile interpolates linearly between closest ranks, clamps p
+// outside [0, 100], and agrees with Median at p = 50 for both parities.
+func TestPercentile(t *testing.T) {
+	s := &Sample{}
+	for _, x := range []float64{40, 10, 20, 30} { // deliberately unsorted
+		s.Add(x)
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{-5, 10}, {0, 10}, {25, 17.5}, {50, 25}, {75, 32.5},
+		{90, 37}, {100, 40}, {150, 40},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if s.Median() != s.Percentile(50) {
+		t.Errorf("Median %v != Percentile(50) %v", s.Median(), s.Percentile(50))
+	}
+	odd := &Sample{}
+	for _, x := range []float64{3, 1, 2} {
+		odd.Add(x)
+	}
+	if got := odd.Percentile(50); got != 2 {
+		t.Errorf("odd-count Percentile(50) = %v, want 2", got)
+	}
+	if got := (&Sample{}).Percentile(99); got != 0 {
+		t.Errorf("empty Percentile(99) = %v, want 0", got)
+	}
+	single := &Sample{}
+	single.Add(7)
+	for _, p := range []float64{0, 33, 50, 99, 100} {
+		if got := single.Percentile(p); got != 7 {
+			t.Errorf("single-obs Percentile(%v) = %v, want 7", p, got)
+		}
+	}
+}
+
+// No percentile query may reorder the sample's backing slice: Add order
+// is observable by callers that replay observations, so Median and
+// Percentile must sort a copy.
+func TestPercentileDoesNotReorderSample(t *testing.T) {
+	s := &Sample{}
+	orig := []float64{5, 1, 4, 2, 3}
+	for _, x := range orig {
+		s.Add(x)
+	}
+	s.Median()
+	s.Percentile(95)
+	for i, x := range s.xs {
+		if x != orig[i] {
+			t.Fatalf("backing slice reordered at %d: %v vs %v", i, s.xs, orig)
+		}
+	}
+}
+
 // VariationPct with a zero minimum (e.g. a truncated run recorded as
 // Speedup 0) must not divide by zero.
 func TestVariationPctZeroMin(t *testing.T) {

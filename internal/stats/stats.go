@@ -80,18 +80,38 @@ func (s *Sample) StdDev() float64 {
 	return math.Sqrt(ss / float64(n-1))
 }
 
-// Median returns the middle observation (0 when empty).
-func (s *Sample) Median() float64 {
+// Median returns the middle observation (0 when empty). It is
+// Percentile(50): for even counts the two middle observations are
+// averaged, which is exactly what linear interpolation at p=50 yields.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// Percentile returns the p-th percentile (p in [0, 100]) using linear
+// interpolation between closest ranks (the R-7/NumPy default): the
+// value at fractional rank p/100·(n−1). An empty sample returns 0, a
+// single observation is every percentile of itself, and p outside
+// [0, 100] is clamped. The receiver's observations are copied before
+// sorting — Add order is observable (and kept) for callers that
+// iterate the sample, so no query may reorder the backing slice.
+func (s *Sample) Percentile(p float64) float64 {
 	n := len(s.xs)
 	if n == 0 {
 		return 0
 	}
 	xs := append([]float64(nil), s.xs...)
 	sort.Float64s(xs)
-	if n%2 == 1 {
-		return xs[n/2]
+	if p <= 0 {
+		return xs[0]
 	}
-	return (xs[n/2-1] + xs[n/2]) / 2
+	if p >= 100 {
+		return xs[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= n || frac == 0 {
+		return xs[lo]
+	}
+	return xs[lo] + frac*(xs[lo+1]-xs[lo])
 }
 
 // VariationPct is the paper's Table 3 metric: "the ratio of the maximum

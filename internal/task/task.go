@@ -133,6 +133,19 @@ type Task struct {
 	// LastRanAt is when the task last ran (for the Linux 5 ms cache-hot
 	// heuristic). LastEnqueuedAt is when it last joined a queue.
 	LastRanAt, LastEnqueuedAt int64
+	// FirstRanAt is when the task first got the CPU (−1 until it has):
+	// FirstRanAt − StartedAt is the admission-to-first-run latency of an
+	// open-system job.
+	FirstRanAt int64
+	// WakeLatSum, WakeLatMax and WakeLatN accumulate wake-to-run latency
+	// (wakeup enqueue → next dispatch, in ns): the responsiveness metric
+	// of interactive open-system workloads. WakeArmed marks a wakeup
+	// whose dispatch has not happened yet; the core consumes it. All
+	// four are per-task state, so the accounting stays shard-local under
+	// the parallel engine.
+	WakeLatSum, WakeLatMax int64
+	WakeLatN               int
+	WakeArmed              bool
 
 	// Migrations counts cross-core moves; speedbalancer pulls the task
 	// that has migrated least to avoid hot-potato tasks.

@@ -164,6 +164,134 @@ func TestNormMoments(t *testing.T) {
 	}
 }
 
+// The exact Exponential output stream is pinned: open-system arrival
+// schedules are a pure function of the seed, so any change to the draw
+// (even a numerically equivalent refactor) would silently reshuffle
+// every open-workload experiment. The golden values were produced by
+// this implementation at the repo's canonical seed.
+func TestExponentialGoldenStream(t *testing.T) {
+	want := []float64{
+		2.0388030724961674,
+		6.4420368838956241,
+		4.5923676404423484,
+		1.6467988898745836,
+		1.4442890352108264,
+		4.2866502940896591,
+		1.7622532889754279,
+		0.49709967049722936,
+	}
+	r := New(20100109)
+	for i, w := range want {
+		if got := r.Exponential(0.25); got != w {
+			t.Fatalf("Exponential stream diverges at step %d: got %.17g, want %.17g", i, got, w)
+		}
+	}
+}
+
+// The Poisson inverse-CDF stream is pinned for the same reason, in both
+// the summation regime and the large-mean normal-approximation regime.
+func TestPoissonGoldenStream(t *testing.T) {
+	want := []int{3, 5, 4, 3, 2, 4, 3, 1, 1, 4, 4, 5, 6, 2, 3, 3}
+	r := New(20100109)
+	for i, w := range want {
+		if got := r.Poisson(3.5); got != w {
+			t.Fatalf("Poisson stream diverges at step %d: got %d, want %d", i, got, w)
+		}
+	}
+	big := []int{798, 755, 785, 800, 818, 786}
+	q := New(11)
+	for i, w := range big {
+		if got := q.Poisson(800); got != w {
+			t.Fatalf("Poisson(800) stream diverges at step %d: got %d, want %d", i, got, w)
+		}
+	}
+}
+
+// Each split stream's draws are independent of how much the sibling
+// consumed — the property that lets every arrival stream of an open
+// workload own a split without perturbing the others.
+func TestExponentialSplitStreams(t *testing.T) {
+	a := New(7)
+	s1, s2 := a.Split(), a.Split()
+	wantS1 := []float64{0.5430856774564311, 1.617058351895867}
+	wantS2 := []float64{1.4438036750143659, 1.7530186906864}
+	for i := range wantS1 {
+		if got := s1.Exponential(1); got != wantS1[i] {
+			t.Fatalf("stream 1 step %d: got %.17g, want %.17g", i, got, wantS1[i])
+		}
+	}
+	for i := range wantS2 {
+		if got := s2.Exponential(1); got != wantS2[i] {
+			t.Fatalf("stream 2 step %d: got %.17g, want %.17g", i, got, wantS2[i])
+		}
+	}
+}
+
+// Exponential(rate) has mean ≈ 1/rate and consumes exactly one uniform
+// per draw (advancing a sibling stream's view not at all).
+func TestExponentialMoments(t *testing.T) {
+	r := New(12)
+	const n = 200000
+	const rate = 0.5
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exponential(rate)
+		if v < 0 {
+			t.Fatalf("negative exponential draw %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1/rate) > 0.02 {
+		t.Errorf("mean %v, want ≈ %v", mean, 1/rate)
+	}
+}
+
+// Poisson(mean) has mean and variance ≈ mean in the summation regime.
+func TestPoissonMoments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	const mean = 4.0
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := float64(r.Poisson(mean))
+		sum += v
+		sumSq += v * v
+	}
+	m := sum / n
+	variance := sumSq/n - m*m
+	if math.Abs(m-mean) > 0.05 {
+		t.Errorf("mean %v, want ≈ %v", m, mean)
+	}
+	if math.Abs(variance-mean) > 0.1 {
+		t.Errorf("variance %v, want ≈ %v", variance, mean)
+	}
+}
+
+func TestPoissonEdgeCases(t *testing.T) {
+	r := New(14)
+	if got := r.Poisson(0); got != 0 {
+		t.Errorf("Poisson(0) = %d, want 0", got)
+	}
+	if got := r.Poisson(-2); got != 0 {
+		t.Errorf("Poisson(-2) = %d, want 0", got)
+	}
+	// The underflow fallback must stay near its mean and non-negative.
+	for i := 0; i < 1000; i++ {
+		if v := r.Poisson(900); v < 0 || v > 2000 {
+			t.Fatalf("Poisson(900) draw out of plausible range: %d", v)
+		}
+	}
+}
+
+func TestExponentialPanicsOnNonPositiveRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for Exponential(0)")
+		}
+	}()
+	New(1).Exponential(0)
+}
+
 func BenchmarkUint64(b *testing.B) {
 	r := New(1)
 	for i := 0; i < b.N; i++ {
