@@ -38,6 +38,10 @@
 //	             noise), hotplug, freq, storm, or all (see
 //	             internal/perturb); schedules derive from -seed, so
 //	             perturbed tables stay bit-identical at any -parallel
+//	-predict     arm the speed balancer's predictive mode (anticipatory
+//	             pulls and wake-time placement from streaming per-core
+//	             speed distributions) in every SPEED run; inert for
+//	             experiments that configure prediction themselves
 //	-shards N    partition every run's simulator into N per-socket event
 //	             shards (clamped to the machine's socket count; 0/1 =
 //	             single queue); tables are bit-identical at every N
@@ -83,7 +87,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: lbos list | lbos run [-reps N] [-scale K] [-seed S] [-parallel P] [-failfast] [-csv DIR] [-trace FILE] [-metrics] [-perturb LIST] [-shards N] [-shardpar] [-q] <id>...|all | lbos bench [-out FILE] [-baseline FILE] [-tol F] [-q]")
+	fmt.Fprintln(os.Stderr, "usage: lbos list | lbos run [-reps N] [-scale K] [-seed S] [-parallel P] [-failfast] [-csv DIR] [-trace FILE] [-metrics] [-perturb LIST] [-predict] [-shards N] [-shardpar] [-q] <id>...|all | lbos bench [-out FILE] [-baseline FILE] [-tol F] [-q]")
 }
 
 // bench runs the perfbench suite, writes BENCH_<n>.json and gates the
@@ -196,6 +200,7 @@ func run(args []string) {
 	traceFile := fs.String("trace", "", "write a Chrome trace-event JSON of all runs to this file")
 	withMetrics := fs.Bool("metrics", false, "collect and print scheduler metrics per experiment")
 	perturbSpec := fs.String("perturb", "", "inject faults: comma-separated from noise,kthread,hotplug,freq,storm,all")
+	predictOn := fs.Bool("predict", false, "arm the speed balancer's predictive mode in every SPEED run")
 	shards := fs.Int("shards", 0, "per-socket event shards per run (0/1 = single queue)")
 	shardPar := fs.Bool("shardpar", false, "run shard-confined spans on parallel goroutines")
 	quiet := fs.Bool("q", false, "suppress progress logging")
@@ -229,8 +234,8 @@ func run(args []string) {
 	ctx := &exp.Context{
 		Reps: *reps, Scale: *scale, Seed: *seed,
 		Parallelism: *parallel, FailFast: *failfast,
-		Perturb: pcfg,
-		Shards:  *shards, ShardParallel: *shardPar,
+		Perturb: pcfg, Predict: *predictOn,
+		Shards: *shards, ShardParallel: *shardPar,
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)

@@ -14,7 +14,7 @@ import (
 // engine configuration).
 var drivers = []string{
 	"fig1", "fig2", "fig3t", "fig5", "abl-jit", "noise-omps", "hotplug-churn",
-	"open-bakeoff",
+	"open-bakeoff", "predict-bakeoff",
 }
 
 // matrix is the engine grid every driver must traverse without changing

@@ -115,6 +115,14 @@ type Queue struct {
 	cur     *task.Task
 	round   int
 	steals  int
+	// roundServed accumulates weighted CPU time charged since the round
+	// began. Rounds normally close when active empties, but under open
+	// arrivals active may never empty — each newcomer joins the current
+	// round with a fresh slice, so a task expired early in the round can
+	// be stranded behind an unbounded stream of arrivals (the observed
+	// ρ≥0.85 p99 collapse). Once roundServed exceeds the round's
+	// entitlement while expired tasks wait, the round is force-advanced.
+	roundServed time.Duration
 }
 
 // Round returns the core's current round number.
@@ -169,6 +177,24 @@ func (q *Queue) PickNext() *task.Task {
 		panic("dwrr: PickNext with current attached")
 	}
 	for {
+		if len(q.active) > 0 && len(q.expired) > 0 && q.roundServed >= q.roundBudget() {
+			// The core has served a full round's entitlement yet active is
+			// still populated — tasks keep arriving into the open round, so
+			// the empty-active advance below would never run: close the
+			// round by force so the expired tasks are not stranded. They go
+			// ahead of the carried-over active tasks — they have waited the
+			// longest and their new-round slice is already reset. A closed
+			// system never gets here: its round serves exactly the
+			// entitlement, emptying active at the same moment, and takes
+			// the steal-then-advance path instead.
+			q.round++
+			q.roundServed = 0
+			if q.g.m.Tracing() {
+				q.g.m.Emit(trace.Event{Kind: trace.KindRoundAdvance, Core: q.core, N: q.round})
+			}
+			q.active = append(q.expired, q.active...)
+			q.expired = nil
+		}
 		if len(q.active) > 0 {
 			t := q.active[0]
 			// Shift down rather than re-slice so the backing array's front
@@ -188,6 +214,7 @@ func (q *Queue) PickNext() *task.Task {
 		}
 		// Advance the round: expired tasks become the new active set.
 		q.round++
+		q.roundServed = 0
 		if q.g.m.Tracing() {
 			q.g.m.Emit(trace.Event{Kind: trace.KindRoundAdvance, Core: q.core, N: q.round})
 		}
@@ -263,7 +290,17 @@ func (q *Queue) AccountExec(t *task.Task, d time.Duration) {
 	if w <= 0 {
 		w = 1024
 	}
-	t.Sched.RoundUsed += time.Duration(int64(d) * 1024 / w)
+	charge := time.Duration(int64(d) * 1024 / w)
+	t.Sched.RoundUsed += charge
+	q.roundServed += charge
+}
+
+// roundBudget is the weighted time the current round is entitled to
+// serve: one round slice per runnable task. It is evaluated against the
+// live queue length, so the entitlement grows as tasks arrive — a round
+// may run long, but never unboundedly long while expired tasks wait.
+func (q *Queue) roundBudget() time.Duration {
+	return q.g.cfg.RoundSlice * time.Duration(q.NrRunnable())
 }
 
 // Slice implements sim.Scheduler: run until the round slice is consumed

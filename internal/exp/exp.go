@@ -59,6 +59,12 @@ type Context struct {
 	// The injector draws from each cell's seeded RNG, so perturbed
 	// tables remain bit-identical at every Parallelism.
 	Perturb perturb.Config
+	// Predict turns on the speed balancer's anticipatory mode
+	// (speedbal.Config.Predict with predict.DefaultConfig) in every
+	// Submit/Repeat cell that does not configure prediction itself —
+	// the -predict flag of `lbos run`. Cells not using the speed
+	// balancer are unaffected.
+	Predict bool
 	// Shards partitions every cell's simulator into per-socket event
 	// shards (sim.Config.Shards): 0/1 keeps the single queue, larger
 	// values are clamped to the machine's socket count. Results are

@@ -16,6 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"abl-ts", "abl-int", "abl-jit", "abl-numa", "abl-pull",
 		"ext-smt", "ext-measure", "ext-swap",
 		"noise-omps", "hotplug-churn", "open-bakeoff",
+		"predict-bakeoff", "abl-horizon",
 	}
 	for _, id := range want {
 		e, err := ByID(id)

@@ -8,6 +8,8 @@ import (
 	"repro/internal/dwrr"
 	"repro/internal/linuxlb"
 	"repro/internal/openload"
+	"repro/internal/perturb"
+	"repro/internal/predict"
 	"repro/internal/sim"
 	"repro/internal/speedbal"
 	"repro/internal/stats"
@@ -61,12 +63,30 @@ type openCellOut struct {
 	wakesUs    []float64
 	admitted   int
 	unfinished int
+	// predictPulls/Hits/Misses are the speed balancer's prediction
+	// audit counters (zero for non-SPEED policies or reactive cells).
+	predictPulls  int
+	predictHits   int
+	predictMisses int
+}
+
+// openCellOpts parameterises one open-system cell beyond the policy
+// itself: load point, run length, engine settings, optional fault
+// injection and the speed balancer's predictive mode.
+type openCellOpts struct {
+	rho      float64
+	horizon  time.Duration
+	seed     uint64
+	shards   int
+	shardPar bool
+	perturb  perturb.Config
+	predict  bool
 }
 
 // runOpenCell simulates one (policy, ρ, seed) cell: arrivals for
 // horizon, then a drain window, then per-job accounting.
-func runOpenCell(p openPolicy, rho float64, horizon time.Duration, seed uint64, shards int, shardPar bool) openCellOut {
-	cfg := sim.Config{Seed: seed, Shards: shards, ShardParallel: shardPar}
+func runOpenCell(p openPolicy, o openCellOpts) openCellOut {
+	cfg := sim.Config{Seed: o.seed, Shards: o.shards, ShardParallel: o.shardPar}
 	if p.dwrr {
 		cfg.NewScheduler, _ = dwrr.NewFactory(dwrr.DefaultConfig())
 	} else {
@@ -76,17 +96,27 @@ func runOpenCell(p openPolicy, rho float64, horizon time.Duration, seed uint64, 
 	if p.linux {
 		m.AddActor(linuxlb.Default())
 	}
+	var sb *speedbal.Balancer
 	if p.speed {
 		scfg := speedbal.DefaultConfig()
 		scfg.RescanGroup = openload.Group
-		m.AddActor(speedbal.New(scfg))
+		if o.predict {
+			scfg.Predict = predict.DefaultConfig()
+		}
+		sb = speedbal.New(scfg)
+		m.AddActor(sb)
 	}
 	if p.ule {
 		m.AddActor(ule.Default())
 	}
+	if o.perturb.Active() {
+		// After the balancers, as in exp.Run: the RNG split order stays
+		// fixed regardless of which families are on.
+		m.AddActor(perturb.New(o.perturb))
+	}
 	g := openload.New(openload.Config{
-		Rho:        rho,
-		Horizon:    horizon,
+		Rho:        o.rho,
+		Horizon:    o.horizon,
 		FixedAlloc: p.equi,
 	})
 	m.AddActor(g)
@@ -94,8 +124,13 @@ func runOpenCell(p openPolicy, rho float64, horizon time.Duration, seed uint64, 
 	// (ρ < 1) empties well inside 2 extra horizons + 2 s, and whatever
 	// does not is reported in the table's unfinished column rather than
 	// silently truncated out of the percentiles.
-	m.Run(int64(3*horizon) + int64(2*time.Second))
+	m.Run(int64(3*o.horizon) + int64(2*time.Second))
 	out := openCellOut{admitted: g.Admitted, unfinished: g.Unfinished()}
+	if sb != nil {
+		out.predictPulls = sb.PredictPulls
+		out.predictHits = sb.PredictHits
+		out.predictMisses = sb.PredictMisses
+	}
 	for _, r := range g.Records {
 		out.sojournsMs = append(out.sojournsMs, float64(r.Sojourn)/1e6)
 		if r.Wakes > 0 {
@@ -135,7 +170,11 @@ func runOpenBakeoff(ctx *Context) []*Table {
 				rn.SubmitFunc(
 					fmt.Sprintf("open rho=%.2f %s rep %d", rho, p.name, rep),
 					func() RunResult {
-						return RunResult{Out: runOpenCell(p, rho, horizon, seed, ctx.Shards, ctx.ShardParallel)}
+						return RunResult{Out: runOpenCell(p, openCellOpts{
+							rho: rho, horizon: horizon, seed: seed,
+							shards: ctx.Shards, shardPar: ctx.ShardParallel,
+							predict: ctx.Predict,
+						})}
 					},
 					func(res RunResult) {
 						o := res.Out.(openCellOut)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/linuxlb"
 	"repro/internal/metrics"
 	"repro/internal/perturb"
+	"repro/internal/predict"
 	"repro/internal/sim"
 	"repro/internal/speedbal"
 	"repro/internal/spmd"
@@ -59,6 +60,11 @@ type RunOpts struct {
 	// noise, hotplug, frequency drift, interrupt storms) to the run. The
 	// Runner copies Context.Perturb here for cells that leave it inert.
 	Perturb perturb.Config
+	// Predict enables the speed balancer's anticipatory mode with
+	// predict.DefaultConfig when the cell's SpeedCfg does not already
+	// configure prediction. The Runner copies Context.Predict here. Only
+	// StratSpeed runs are affected.
+	Predict bool
 	// Shards and ShardParallel select the sharded simulator engine
 	// (sim.Config fields of the same names). The Runner copies the
 	// Context values here for cells that leave them zero.
@@ -85,6 +91,9 @@ type RunResult struct {
 	AppMigrations int
 	// SpeedbalMigrations counts the speed balancer's pulls.
 	SpeedbalMigrations int
+	// PredictPulls/Hits/Misses are the speed balancer's prediction
+	// audit counters (zero when prediction is off).
+	PredictPulls, PredictHits, PredictMisses int
 	// Stats is the machine's counter snapshot.
 	Stats sim.Stats
 	// App is the finished application (thread exec times etc.).
@@ -155,6 +164,9 @@ func Run(o RunOpts) RunResult {
 		if o.SpeedCfg != nil {
 			scfg = *o.SpeedCfg
 		}
+		if o.Predict && !scfg.Predict.Enabled {
+			scfg.Predict = predict.DefaultConfig()
+		}
 		sb = speedbal.New(scfg)
 		sb.Launch(m, app)
 	default:
@@ -194,6 +206,9 @@ func Run(o RunOpts) RunResult {
 	}
 	if sb != nil {
 		res.SpeedbalMigrations = sb.Migrations
+		res.PredictPulls = sb.PredictPulls
+		res.PredictHits = sb.PredictHits
+		res.PredictMisses = sb.PredictMisses
 	}
 	if dwrrG != nil {
 		res.Stats.Migrations["dwrr"] = dwrrG.Steals()

@@ -100,6 +100,9 @@ func (r *Runner) submitRun(label string, o RunOpts, fn func(RunResult)) {
 		o.Shards = r.ctx.Shards
 		o.ShardParallel = o.ShardParallel || r.ctx.ShardParallel
 	}
+	// -predict composes onto any experiment; cells that configure
+	// prediction through their own SpeedCfg keep it.
+	o.Predict = o.Predict || r.ctx.Predict
 	if r.ctx.Trace != nil {
 		it.ring = r.ctx.Trace.newRing()
 		o.Tracer = it.ring

@@ -11,6 +11,7 @@ import (
 	"repro/internal/openload"
 	"repro/internal/sim"
 	"repro/internal/speedbal"
+	"repro/internal/stats"
 	"repro/internal/task"
 	"repro/internal/topo"
 )
@@ -165,6 +166,47 @@ func TestFixedAllocPinsThreads(t *testing.T) {
 		if !tk.Pinned() {
 			t.Fatalf("task %q not pinned under FixedAlloc", tk.Name)
 		}
+	}
+}
+
+// A horizon admitting exactly one job is the smallest record stream the
+// bakeoff tables aggregate, and the one where aggregation edge cases
+// bite: the single record must carry no-signal zeroes (a job that never
+// slept has Wakes == 0 and a meaningless WakeMean, which must be 0, not
+// a division artifact), and pooling it through stats.Sample must make
+// every percentile the record itself rather than interpolating off the
+// end of a one-element slice.
+func TestSingleJobRecordAggregation(t *testing.T) {
+	g := run(2, openload.Config{
+		Classes: []openload.Class{{Name: "solo", Weight: 1, Work: 200e6}},
+		Rho:     0.05, Horizon: 250 * time.Millisecond,
+	}, 0, false)
+	if g.Admitted != 1 {
+		t.Fatalf("admitted %d jobs, the test needs exactly 1 — seed drifted?", g.Admitted)
+	}
+	if len(g.Records) != 1 || g.Unfinished() != 0 {
+		t.Fatalf("records=%d unfinished=%d, want 1 completed record", len(g.Records), g.Unfinished())
+	}
+	r := g.Records[0]
+	if r.Sojourn <= 0 {
+		t.Errorf("non-positive sojourn %v", r.Sojourn)
+	}
+	if r.Wakes == 0 && (r.WakeMean != 0 || r.WakeMax != 0) {
+		t.Errorf("job with no wakeups carries wake latencies: mean=%v max=%v", r.WakeMean, r.WakeMax)
+	}
+	if r.FirstRun < 0 || r.FirstRun > r.Sojourn {
+		t.Errorf("first-run latency %v outside [0, %v]", r.FirstRun, r.Sojourn)
+	}
+	soj := &stats.Sample{}
+	soj.Add(float64(r.Sojourn))
+	want := float64(r.Sojourn)
+	for _, p := range []float64{0, 50, 95, 99, 100} {
+		if got := soj.Percentile(p); got != want {
+			t.Errorf("single-record Percentile(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if soj.Mean() != want || soj.Max() != want {
+		t.Errorf("single-record mean/max = %v/%v, want %v", soj.Mean(), soj.Max(), want)
 	}
 }
 

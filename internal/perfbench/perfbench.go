@@ -41,6 +41,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/openload"
 	"repro/internal/perturb"
+	"repro/internal/predict"
 	"repro/internal/sim"
 	"repro/internal/speedbal"
 	"repro/internal/spmd"
@@ -128,6 +129,11 @@ func Suite() []Spec {
 			bench: wakeBench,
 		},
 		{
+			Name:  "predict",
+			Desc:  "the wake scenario with the predictive balancer mode armed",
+			bench: predictBench,
+		},
+		{
 			Name:  "perturb",
 			Desc:  "the wake scenario with the full fault-injection mix active",
 			bench: perturbBench,
@@ -186,6 +192,35 @@ func wakeBench(b *testing.B) int64 {
 	bal := speedbal.New(speedbal.Config{})
 	bal.Launch(m, app)
 	m.RunFor(time.Second) // reach steady state
+	before := m.Stats.Events
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.RunFor(100 * time.Millisecond)
+	}
+	b.StopTimer()
+	return int64(m.Stats.Events - before)
+}
+
+// predictBench is wakeBench with the predictive mode armed: the same
+// steady-state app, but every balance interval now also feeds the
+// per-thread and per-core speed estimators, blends effective speeds and
+// audits last interval's slowest-core call. Its delta over the wake
+// case is the marginal cost of prediction; the wake case itself (which
+// leaves Predict zero) is what proves the predictive plumbing stays off
+// the hot path when disabled.
+func predictBench(b *testing.B) int64 {
+	m := sim.New(topo.Tigerton(), sim.Config{Seed: suiteSeed, NewScheduler: cfs.Factory()})
+	app := spmd.Build(m, spmd.Spec{
+		Name:             "predict",
+		Threads:          32,
+		Iterations:       1 << 30,
+		WorkPerIteration: 3e6,
+		Model:            spmd.UPC(),
+	})
+	bal := speedbal.New(speedbal.Config{Predict: predict.DefaultConfig()})
+	bal.Launch(m, app)
+	m.RunFor(time.Second)
 	before := m.Stats.Events
 	b.ResetTimer()
 	b.ReportAllocs()

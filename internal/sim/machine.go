@@ -721,6 +721,11 @@ func (m *Machine) AddActor(a Actor) {
 // SetPlacer installs the fork-placement policy.
 func (m *Machine) SetPlacer(p Placer) { m.placer = p }
 
+// GetPlacer returns the installed fork-placement policy, so a policy
+// layered on top (the speed balancer's predictive placement of its
+// managed group) can delegate everything else to whatever was there.
+func (m *Machine) GetPlacer() Placer { return m.placer }
+
 // OnIdle registers a hook invoked when a core runs out of runnable tasks
 // (the Linux new-idle balancing entry point). The hook may enqueue a task
 // on the core; dispatch re-runs afterwards.

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/cpuset"
+	"repro/internal/predict"
 	"repro/internal/sim"
 	"repro/internal/spmd"
 	"repro/internal/task"
@@ -131,8 +132,22 @@ type Config struct {
 	// for new tasks whose Group matches — the paper's "can be easily
 	// extended to balance applications with dynamic parallelism by
 	// polling the /proc file system" (§5.2 footnote). New threads are
-	// adopted and pinned to their current core.
+	// adopted and pinned to the core the adoption placement picks (the
+	// predicted-fastest core when prediction is active and warm, the
+	// least-loaded managed core otherwise — pinning them blindly to
+	// wherever they happened to land is the short-job regression the
+	// open-bakeoff exposed).
 	RescanGroup string
+	// Predict enables the anticipatory mode (internal/predict): the
+	// balancer keeps decayed per-core and per-thread speed
+	// distributions, runs its decisions on horizon-extrapolated
+	// effective speeds, pulls from cores whose *predicted* speed
+	// crosses T_s when the slowest-core probability bound clears
+	// Predict.MinConfidence, and places admitted group threads on the
+	// predicted-fastest core. With Predict.Horizon or Predict.Weight
+	// zero the decisions degenerate to the reactive balancer exactly
+	// (byte-identical output — pinned by difftest).
+	Predict predict.Config
 }
 
 // DefaultConfig returns the paper's parameters.
@@ -199,12 +214,46 @@ type Balancer struct {
 	// wakeTimers[j] is core index j's reusable balancer-wake timer.
 	wakeTimers []*sim.Timer
 
+	// tracker holds the predictive estimators (nil unless
+	// Predict.Enabled); predActive caches Predict.Active() — the gate
+	// on every decision the predictor may change.
+	tracker    *predict.Tracker
+	predActive bool
+	// prevPlacer is the fork-placement policy the predictive placer
+	// wraps; non-group tasks delegate to it unchanged.
+	prevPlacer sim.Placer
+	// effBuf, distBuf, idxBuf, probOf and predSlowest are the
+	// per-balance-pass scratch buffers of the predictive path,
+	// preallocated so prediction adds no steady-state allocation.
+	// probOf[k] is core index k's slowest-probability bound this pass
+	// (−1 when unsampled or cold); predSlowest[j] is the core index
+	// balancer thread j predicted slowest at its previous pass (−1
+	// none), resolved against the realized slowest for the hit/miss
+	// audit.
+	effBuf      []float64
+	distBuf     []predict.Dist
+	idxBuf      []int
+	boundsBuf   []float64
+	probOf      []float64
+	predSlowest []int
+	// occAtSample[j] is how many runnable tasks shared core j when its
+	// speed was last sampled (≥1); the placer multiplies it back out to
+	// recover the core's capacity from the per-thread speed, then
+	// divides by the live occupancy.
+	occAtSample []int
+
 	// Migrations counts pulls performed, for reporting.
 	Migrations int
 	// Swaps counts thread exchanges (EnableSwaps extension).
 	Swaps int
 	// Adopted counts threads discovered by the dynamic rescan.
 	Adopted int
+	// PredictPulls counts anticipatory pulls: candidates whose realized
+	// speed was still above threshold when the prediction fired.
+	PredictPulls int
+	// PredictHits and PredictMisses audit the slowest-core predictions
+	// against the next pass's realized speeds.
+	PredictHits, PredictMisses int
 	// OnMigrate, if set, observes every pull (testing/tracing).
 	OnMigrate func(t *task.Task, from, to int, now int64)
 	stopped   bool
@@ -224,6 +273,20 @@ func New(cfg Config) *Balancer {
 	}
 	if cfg.AccountingGranularity == 0 {
 		cfg.AccountingGranularity = d.AccountingGranularity
+	}
+	if cfg.Predict.Enabled {
+		// Complete the estimator knobs; Horizon and Weight stay as
+		// given — they are the degeneracy dials the ablations sweep.
+		pd := predict.DefaultConfig()
+		if cfg.Predict.MinConfidence == 0 {
+			cfg.Predict.MinConfidence = pd.MinConfidence
+		}
+		if cfg.Predict.Decay == 0 {
+			cfg.Predict.Decay = pd.Decay
+		}
+		if cfg.Predict.MinWeight == 0 {
+			cfg.Predict.MinWeight = pd.MinWeight
+		}
 	}
 	return &Balancer{
 		cfg:        cfg,
@@ -315,6 +378,29 @@ func (b *Balancer) Start(m *sim.Machine) {
 			b.members[j] = append(b.members[j], t)
 		}
 	}
+	if b.cfg.Predict.Enabled {
+		b.tracker = predict.NewTracker(b.cfg.Predict, n, b.cfg.Interval)
+		b.predActive = b.cfg.Predict.Active()
+		b.effBuf = make([]float64, n)
+		b.occAtSample = make([]int, n)
+	}
+	if b.predActive {
+		b.distBuf = make([]predict.Dist, 0, n)
+		b.idxBuf = make([]int, 0, n)
+		b.boundsBuf = make([]float64, n)
+		b.probOf = make([]float64, n)
+		b.predSlowest = make([]int, n)
+		for j := range b.predSlowest {
+			b.predSlowest[j] = -1
+		}
+		if b.cfg.RescanGroup != "" {
+			// Wake-time placement: admitted group threads start on the
+			// predicted-fastest core instead of wherever the wrapped
+			// (load-based) placer would put them.
+			b.prevPlacer = m.GetPlacer()
+			m.SetPlacer(b)
+		}
+	}
 	m.OnCoreChange(b.noteMove)
 	m.OnTaskDone(b.noteDone)
 	m.OnTaskStart(b.noteStart)
@@ -391,6 +477,11 @@ func (b *Balancer) noteOnline(c *sim.Core, online bool) {
 	b.speeds[j] = -1
 	b.sampled[j] = b.m.Now()
 	b.lastStolen[j] = c.StolenWall()
+	if b.tracker != nil {
+		// The old distribution is evidence about a machine that no
+		// longer exists on either side of the transition.
+		b.tracker.ResetCore(j)
+	}
 }
 
 // noteStart is the admission-side mirror of noteDone: the machine
@@ -437,6 +528,9 @@ func (b *Balancer) noteDone(t *task.Task) {
 	}
 	delete(b.lastExec, t)
 	delete(b.lastWork, t)
+	if b.tracker != nil {
+		b.tracker.ForgetThread(t.ID)
+	}
 	b.liveManaged--
 }
 
@@ -505,6 +599,9 @@ func (b *Balancer) wake(j int, now int64) {
 		b.speeds[j] = -1
 		b.sampled[j] = now
 		b.lastStolen[j] = b.m.Cores[b.cores[j]].StolenWall()
+		if b.tracker != nil {
+			b.tracker.ResetCore(j)
+		}
 		b.wakeTimers[j].Schedule(now + int64(b.cfg.Interval) + b.jitter())
 		return
 	}
@@ -515,10 +612,16 @@ func (b *Balancer) wake(j int, now int64) {
 
 // rescan adopts newly appeared tasks of the managed group — the §5.2
 // dynamic-parallelism extension (polling /proc for new PIDs). Adopted
-// threads are pinned to their current core so the Linux balancer stops
-// moving them; speed balancing takes over. Tasks are created in order
-// and never change group, so only those that appeared since the last
-// rescan need looking at.
+// threads are pinned so the Linux balancer stops moving them; speed
+// balancing takes over. The pin target is the adoption placement — the
+// predicted-fastest core when prediction is warm, the least-loaded
+// managed core otherwise — NOT blindly the core the thread happened to
+// land on: pinning short open jobs wherever the fork placer's stale
+// snapshot dropped them was the low-ρ p95 regression the open-bakeoff
+// exposed (a job shorter than the balance interval finishes before any
+// pull can rescue it, so the adoption pin is the only placement it ever
+// gets). Tasks are created in order and never change group, so only
+// those that appeared since the last rescan need looking at.
 func (b *Balancer) rescan(now int64) {
 	tasks := b.m.Tasks()
 	for _, t := range tasks[b.scanned:] {
@@ -531,10 +634,101 @@ func (b *Balancer) rescan(now int64) {
 		b.addManaged(t)
 		b.Adopted++
 		if t.CoreID >= 0 {
-			t.Affinity = cpuset.Of(t.CoreID)
+			dst := b.adoptionCore(t)
+			t.Affinity = cpuset.Of(dst)
+			if dst != t.CoreID {
+				// A placement correction, not a balance pull: it does
+				// not consume the post-migration block.
+				b.m.MigrateNow(t, dst, "speedbal-adopt")
+			}
 		}
 	}
 	b.scanned = len(tasks)
+}
+
+// adoptionCore picks where a freshly adopted thread is pinned: the
+// predicted-fastest managed core when the predictor is active and warm,
+// else the least-loaded online managed core (ties prefer the thread's
+// current core — no gratuitous migration — then the lowest ID). When no
+// managed core is usable the thread keeps its current core, the paper's
+// original pin.
+func (b *Balancer) adoptionCore(t *task.Task) int {
+	if c, ok := b.predictedFastestCore(t); ok {
+		return c
+	}
+	best, bestLoad := -1, 0
+	for _, core := range b.cores {
+		c := b.m.Cores[core]
+		if !c.Online() || !t.Affinity.Has(core) {
+			continue
+		}
+		l := c.NrRunnable()
+		if best == -1 || l < bestLoad || (l == bestLoad && core == t.CoreID) {
+			best, bestLoad = core, l
+		}
+	}
+	if best < 0 {
+		return t.CoreID
+	}
+	return best
+}
+
+// predictedFastestCore scores the managed cores by the speed a newcomer
+// would get *now*: the predicted per-thread speed, multiplied back by
+// the sample-time occupancy to recover the core's capacity, divided by
+// the live occupancy plus the newcomer. Rebasing to live occupancy is
+// what keeps the placer at least as current as least-loaded (which it
+// degenerates to on a homogeneous clean machine) while still steering
+// around cores whose *capacity* the predictor has learned is low —
+// IRQ-saturated, down-clocked — which queue lengths cannot show.
+// A core whose distribution is still cold — start of run, or freshly
+// replugged after ResetCore — is scored at its nominal capacity (base
+// clock, live occupancy): the optimistic prior keeps the placer engaged
+// under hotplug churn, where some core is nearly always cold, and
+// degenerates to least-loaded when every core is cold. Returns ok=false
+// only when prediction is off or no managed core is eligible.
+func (b *Balancer) predictedFastestCore(t *task.Task) (int, bool) {
+	if !b.predActive {
+		return 0, false
+	}
+	h := b.cfg.Predict.Horizon
+	best, bestScore := -1, 0.0
+	for j, core := range b.cores {
+		c := b.m.Cores[core]
+		if !c.Online() || !t.Affinity.Has(core) {
+			continue
+		}
+		cap := c.Info().BaseSpeed
+		if b.tracker.CoreWarm(j) {
+			cap = b.tracker.Predicted(j, h) * float64(b.occAtSample[j])
+		}
+		s := cap / float64(c.NrRunnable()+1)
+		if best == -1 || s > bestScore {
+			best, bestScore = core, s
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// Place implements sim.Placer: managed-group tasks start on the
+// predicted-fastest core; everything else delegates to the placer this
+// one wrapped at Start. Installed only when prediction is active and a
+// rescan group is configured — placement is where anticipation pays
+// most, since a job shorter than the balance interval is never touched
+// again.
+func (b *Balancer) Place(m *sim.Machine, t *task.Task) int {
+	if t.Group == b.cfg.RescanGroup {
+		if c, ok := b.predictedFastestCore(t); ok {
+			if reg := m.Metrics(); reg != nil {
+				reg.Counter("speedbal.predict.place").Inc()
+			}
+			return c
+		}
+	}
+	return b.prevPlacer.Place(m, t)
 }
 
 // allDone reports whether every managed thread has exited. With a
@@ -611,21 +805,42 @@ func (b *Balancer) sample(j int, now int64) {
 				s = 0
 			}
 		}
+		if b.tracker != nil {
+			// Feed the per-thread distribution from the same (noisy)
+			// reading the balancer acts on — the predictor models what
+			// the balancer can measure, not ground truth.
+			b.tracker.ObserveThread(t.ID, s)
+		}
 		sum += s
 		cnt++
+	}
+	occ := c.NrRunnable()
+	if occ < 1 {
+		occ = 1
 	}
 	if cnt == 0 {
 		// No managed thread here: the core's "speed" for the
 		// application is the share a newcomer would get — high when
 		// the core is idle, low when unrelated work occupies it or
 		// kernel noise (the steal account) is eating it.
-		s := (1 - stolenFrac) / float64(c.NrRunnable()+1) * c.Info().BaseSpeed
+		occ = c.NrRunnable() + 1
+		s := (1 - stolenFrac) / float64(occ) * c.Info().BaseSpeed
 		if b.cfg.SMTAware {
 			s *= b.smtFactor(coreID)
 		}
 		b.speeds[j] = s
 	} else {
 		b.speeds[j] = sum / float64(cnt)
+	}
+	if b.tracker != nil {
+		// The tracker's last-sample field mirrors speeds[j] exactly;
+		// that identity is what makes a zero-horizon prediction
+		// degenerate to the realized sample bit-for-bit. occAtSample
+		// remembers how many ways the core was being shared when the
+		// sample was taken, so the placer can rebase the per-thread
+		// speed to the live occupancy at fork time.
+		b.tracker.ObserveCore(j, b.speeds[j], now)
+		b.occAtSample[j] = occ
 	}
 	if reg := b.m.Metrics(); reg != nil {
 		reg.Histogram("speedbal.core_speed", speedBuckets).Observe(b.speeds[j])
@@ -635,6 +850,10 @@ func (b *Balancer) sample(j int, now int64) {
 // speedBuckets spans the plausible core-speed range (base clocks ≈ 1;
 // contention and sharing push samples toward 0).
 var speedBuckets = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.25, 1.5, 2.0}
+
+// probBuckets spans [0,1] for the predicted slowest-core probability
+// histogram (speedbal.predict.slowest_p).
+var probBuckets = []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99}
 
 // smtFactor returns the speed discount for the sibling hardware
 // context's current occupancy.
@@ -653,10 +872,14 @@ func (b *Balancer) smtFactor(coreID int) float64 {
 
 // globalSpeed averages the per-core speeds (step 3 of §5.1). Cores not
 // yet sampled are skipped.
-func (b *Balancer) globalSpeed() float64 {
+func (b *Balancer) globalSpeed() float64 { return avgSpeed(b.speeds) }
+
+// avgSpeed averages the sampled (non-negative) entries of a speed
+// vector — realized or effective.
+func avgSpeed(xs []float64) float64 {
 	var sum float64
 	var n int
-	for _, s := range b.speeds {
+	for _, s := range xs {
 		if s >= 0 {
 			sum += s
 			n++
@@ -668,21 +891,146 @@ func (b *Balancer) globalSpeed() float64 {
 	return sum / float64(n)
 }
 
+// effSpeeds fills effBuf with the effective speeds the balance pass
+// decides on: each realized sample blended toward its prediction,
+// eff[k] = s_k + Weight·(Predicted(k, Horizon) − s_k). The blend is
+// algebraically — and, because Predicted(k, 0) returns the realized
+// sample verbatim, bit-for-bit — the identity when Horizon or Weight is
+// zero, which is the reactive-degeneracy contract the difftest property
+// test pins down. Unsampled (negative) and cold cores pass through
+// unchanged.
+func (b *Balancer) effSpeeds() []float64 {
+	if b.tracker == nil {
+		return b.speeds
+	}
+	for k, sk := range b.speeds {
+		e := sk
+		if sk >= 0 && b.tracker.CoreWarm(k) {
+			p := b.tracker.Predicted(k, b.cfg.Predict.Horizon)
+			e = sk + b.cfg.Predict.Weight*(p-sk)
+			if e < 0 {
+				e = 0
+			}
+		}
+		b.effBuf[k] = e
+	}
+	return b.effBuf
+}
+
+// slowestProbs computes, for every sampled+warm+online managed core,
+// the order-statistic lower bound on "this core is the slowest next
+// interval" from the effective means and the estimators' spreads.
+// probOf[k] is −1 for cores with no usable distribution.
+func (b *Balancer) slowestProbs(eff []float64) []float64 {
+	b.distBuf = b.distBuf[:0]
+	b.idxBuf = b.idxBuf[:0]
+	for k, e := range eff {
+		b.probOf[k] = -1
+		if e < 0 || !b.tracker.CoreWarm(k) || !b.m.Cores[b.cores[k]].Online() {
+			continue
+		}
+		b.distBuf = append(b.distBuf, predict.Dist{Mean: e, Std: b.tracker.CoreStd(k)})
+		b.idxBuf = append(b.idxBuf, k)
+	}
+	if len(b.distBuf) > 0 {
+		out := predict.SlowestLowerBounds(b.distBuf, b.boundsBuf[:len(b.distBuf)])
+		for i, k := range b.idxBuf {
+			b.probOf[k] = out[i]
+		}
+	}
+	return b.probOf
+}
+
+// marginalBelow is the predictor's marginal confidence that core index
+// k's speed stays below the pull threshold next interval: the CDF of
+// its (effective-mean, decayed-spread) distribution at T_s times the
+// effective global speed.
+func (b *Balancer) marginalBelow(k int, skEff, sgEff float64) float64 {
+	d := predict.Dist{Mean: skEff, Std: b.tracker.CoreStd(k)}
+	return d.CDF(b.cfg.Threshold * sgEff)
+}
+
+// auditPrediction resolves balancer thread j's previous slowest-core
+// prediction against the realized speeds of this pass (hit/miss
+// counters), then records the new prediction: the core with the lowest
+// effective speed among those with a live distribution. The
+// order-statistic bound is the prediction's *confidence*, observed into
+// the histogram — it is not the point prediction itself, because the
+// midpoint bounds all collapse to zero when several cores crowd the
+// slow side, which would degenerate an argmax to the first index.
+func (b *Balancer) auditPrediction(j int, eff, probs []float64) {
+	reg := b.m.Metrics()
+	if prev := b.predSlowest[j]; prev >= 0 {
+		arg := -1
+		var min float64
+		for k, s := range b.speeds {
+			if s < 0 || !b.m.Cores[b.cores[k]].Online() {
+				continue
+			}
+			if arg == -1 || s < min {
+				arg, min = k, s
+			}
+		}
+		if arg >= 0 {
+			if arg == prev {
+				b.PredictHits++
+				if reg != nil {
+					reg.Counter("speedbal.predict.hit").Inc()
+				}
+			} else {
+				b.PredictMisses++
+				if reg != nil {
+					reg.Counter("speedbal.predict.miss").Inc()
+				}
+			}
+		}
+	}
+	best := -1
+	for k, p := range probs {
+		if p >= 0 && (best == -1 || eff[k] < eff[best]) {
+			best = k
+		}
+	}
+	b.predSlowest[j] = best
+	if best >= 0 && reg != nil {
+		reg.Histogram("speedbal.predict.slowest_p", probBuckets).Observe(probs[best])
+	}
+}
+
 // balance is step 4 of §5.1: if the local core is faster than the global
-// average, pull one thread from a suitable slower core.
+// average, pull one thread from a suitable slower core. With prediction
+// active the decision runs on *effective* speeds (realized blended
+// toward predicted), and a candidate that qualifies only predictively —
+// its realized speed is still above T_s — additionally needs its
+// slowest-core probability bound to clear MinConfidence before the pull
+// fires as a KindPredictMigrate.
 func (b *Balancer) balance(j int, now int64) {
 	sj := b.speeds[j]
 	if sj < 0 {
 		return
 	}
 	sg := b.globalSpeed()
+	// Effective (prediction-blended) counterparts. The reactive decision
+	// path below runs on realized speeds exactly as always; the
+	// effective values only ever *add* anticipatory candidates, so
+	// prediction cannot suppress a pull the reactive balancer would have
+	// made — misprediction degrades toward reactive, never below it.
+	eff := b.effSpeeds()
+	sjEff, sgEff := eff[j], avgSpeed(eff)
+	var probs []float64
+	if b.predActive {
+		probs = b.slowestProbs(eff)
+		b.auditPrediction(j, eff, probs)
+	}
 	local := b.cores[j]
 	tr := b.m.Tracing()
 	if tr {
 		b.m.Emit(trace.Event{Kind: trace.KindBalanceWake, Core: local, Label: "speedbal",
 			SLocal: sj, SGlobal: sg, Threshold: b.cfg.Threshold})
 	}
-	if sg <= 0 || sj <= sg {
+	reactivePass := sg > 0 && sj > sg
+	predictPass := b.predActive && sgEff > 0 && sjEff > sgEff
+	if !reactivePass && !predictPass {
 		if tr {
 			b.traceSkip(local, local, "not-above-global", 0, sg)
 		}
@@ -700,9 +1048,10 @@ func (b *Balancer) balance(j int, now int64) {
 	// core occupied only by unrelated work is slow but has nothing for
 	// us to take).
 	type cand struct {
-		k    int
-		sk   float64
-		dist topo.Distance
+		k        int
+		sk       float64
+		dist     topo.Distance
+		predOnly bool
 	}
 	var cands []cand
 	for k, remote := range b.cores {
@@ -718,11 +1067,37 @@ func (b *Balancer) balance(j int, now int64) {
 			continue
 		}
 		sk := b.speeds[k]
-		if sk >= sg || sk/sg >= b.cfg.Threshold {
-			if tr {
-				b.traceSkip(local, remote, "above-threshold", sk, sg)
+		// Reactive qualification, on realized speeds — unchanged from
+		// the paper's test. Failing it, a candidate may still qualify
+		// *predictively*: its effective speed crosses the threshold and
+		// the predictor is confident enough (the order-statistic
+		// slowest-core bound, or — since that bound collapses when
+		// several cores crowd the slow side of the midpoint — the
+		// marginal probability of sub-threshold speed next interval).
+		predOnly := false
+		if !(reactivePass && sk < sg && sk/sg < b.cfg.Threshold) {
+			skEff := eff[k]
+			predOK := predictPass && probs[k] >= 0 &&
+				skEff < sgEff && skEff/sgEff < b.cfg.Threshold
+			if predOK {
+				conf := probs[k]
+				if mc := b.marginalBelow(k, skEff, sgEff); mc > conf {
+					conf = mc
+				}
+				if conf < b.cfg.Predict.MinConfidence {
+					if tr {
+						b.traceSkip(local, remote, "predict-low-confidence", skEff, sgEff)
+					}
+					continue
+				}
 			}
-			continue
+			if !predOK {
+				if tr {
+					b.traceSkip(local, remote, "above-threshold", sk, sg)
+				}
+				continue
+			}
+			predOnly, sk = true, skEff
 		}
 		if now-b.lastMigration[k] < block {
 			if tr {
@@ -745,7 +1120,7 @@ func (b *Balancer) balance(j int, now int64) {
 			}
 			continue
 		}
-		cands = append(cands, cand{k, sk, d})
+		cands = append(cands, cand{k, sk, d, predOnly})
 	}
 	// Prefer nearby sources: migrations between cache-sharing cores are
 	// orders of magnitude cheaper, which is why §5.2 lets them happen
@@ -769,6 +1144,31 @@ func (b *Balancer) balance(j int, now int64) {
 			continue
 		}
 		remote := b.cores[c.k]
+		// Anticipatory pulls never take the swap path: the swap is a
+		// remedy for a *realized* one-thread-per-core imbalance, and
+		// trading threads on a prediction would double the misprediction
+		// cost (two wrong moves instead of one).
+		if c.predOnly {
+			if tr {
+				b.m.Emit(trace.Event{Kind: trace.KindPredictMigrate, Core: local,
+					Task: victim.ID, TaskName: victim.Name, Src: remote, Dst: local,
+					SLocal: sjEff, SK: b.speeds[c.k], SPred: c.sk, SGlobal: sgEff,
+					Threshold: b.cfg.Threshold})
+			}
+			victim.Affinity = cpuset.Of(local)
+			b.m.MigrateNow(victim, local, "speedbal-predict")
+			b.Migrations++
+			b.PredictPulls++
+			if reg := b.m.Metrics(); reg != nil {
+				reg.Counter("speedbal.predict.pull").Inc()
+			}
+			if b.OnMigrate != nil {
+				b.OnMigrate(victim, remote, local, now)
+			}
+			b.lastMigration[j] = now
+			b.lastMigration[c.k] = now
+			return
+		}
 		if b.cfg.EnableSwaps && b.countManaged(remote) == 1 && b.countManaged(local) >= 1 {
 			// Pull-only balancing cannot help a one-thread-per-core
 			// imbalance (the pull would just double up the local
@@ -858,13 +1258,27 @@ func (b *Balancer) pickVictim(remote, local int) *task.Task {
 		// running one at equal migration counts: yanking a thread
 		// mid-compute (sched_setaffinity moves it immediately)
 		// disrupts more than redirecting one that is waiting its turn.
+		// With prediction active an intermediate tie-break applies
+		// first: pull the thread with the lowest tracked speed mean —
+		// the one suffering most on the slow core gains most from the
+		// move. Inert when prediction is off or either mean is unknown,
+		// so the reactive victim choice is unchanged.
+		better := func(t, pick *task.Task) bool {
+			if t.Migrations != pick.Migrations {
+				return t.Migrations < pick.Migrations
+			}
+			if b.predActive {
+				tm, tok := b.tracker.ThreadMean(t.ID)
+				pm, pok := b.tracker.ThreadMean(pick.ID)
+				if tok && pok && tm != pm {
+					return tm < pm
+				}
+			}
+			return pick.State == task.Running && t.State != task.Running
+		}
 		pick := cands[0]
 		for _, t := range cands[1:] {
-			switch {
-			case t.Migrations < pick.Migrations:
-				pick = t
-			case t.Migrations == pick.Migrations &&
-				pick.State == task.Running && t.State != task.Running:
+			if better(t, pick) {
 				pick = t
 			}
 		}

@@ -159,6 +159,23 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// A NaN p satisfies neither clamp (every comparison against NaN is
+// false), so before the explicit guard it reached int(rank) — whose
+// result for NaN is undefined — and indexed the sorted slice out of
+// range. The guard propagates NaN instead of inventing a value; it
+// must do so without panicking for any sample size.
+func TestPercentileNaNP(t *testing.T) {
+	for _, xs := range [][]float64{{}, {7}, {2, 2, 2}, {40, 10, 20, 30}} {
+		s := &Sample{}
+		for _, x := range xs {
+			s.Add(x)
+		}
+		if got := s.Percentile(math.NaN()); !math.IsNaN(got) {
+			t.Errorf("n=%d: Percentile(NaN) = %v, want NaN", len(xs), got)
+		}
+	}
+}
+
 // No percentile query may reorder the sample's backing slice: Add order
 // is observable by callers that replay observations, so Median and
 // Percentile must sort a copy.

@@ -89,10 +89,17 @@ func (s *Sample) Median() float64 { return s.Percentile(50) }
 // interpolation between closest ranks (the R-7/NumPy default): the
 // value at fractional rank p/100·(n−1). An empty sample returns 0, a
 // single observation is every percentile of itself, and p outside
-// [0, 100] is clamped. The receiver's observations are copied before
-// sorting — Add order is observable (and kept) for callers that
-// iterate the sample, so no query may reorder the backing slice.
+// [0, 100] is clamped. A NaN p returns NaN — it satisfies neither
+// clamp (NaN comparisons are all false), and before this guard it
+// flowed into int(rank), whose value for NaN is undefined and indexed
+// the sorted slice out of range. The receiver's observations are
+// copied before sorting — Add order is observable (and kept) for
+// callers that iterate the sample, so no query may reorder the backing
+// slice.
 func (s *Sample) Percentile(p float64) float64 {
+	if math.IsNaN(p) {
+		return math.NaN()
+	}
 	n := len(s.xs)
 	if n == 0 {
 		return 0

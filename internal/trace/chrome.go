@@ -152,6 +152,15 @@ func (cw *ChromeWriter) writeArgs(e Event) {
 		cw.floatArg("stolen", e.SK)
 	case KindFreqChange:
 		cw.floatArg("freq", e.SK)
+	case KindPredictMigrate:
+		cw.taskArgs(e)
+		cw.intArg("src", e.Src)
+		cw.intArg("dst", e.Dst)
+		cw.floatArg("s_local", e.SLocal)
+		cw.floatArg("s_k", e.SK)
+		cw.floatArg("s_pred", e.SPred)
+		cw.floatArg("s_global", e.SGlobal)
+		cw.floatArg("threshold", e.Threshold)
 	}
 }
 

@@ -83,6 +83,15 @@ const (
 	// KindFreqChange is a dynamic frequency step: Core, SK = the new
 	// frequency factor (1.0 nominal).
 	KindFreqChange
+	// KindPredictMigrate is the speed balancer's anticipatory pull: the
+	// candidate's realized speed was still above the T_s threshold, but
+	// its predicted speed crossed it with sufficient slowest-core
+	// probability. It replaces KindBalancePull for such pulls and
+	// carries the full audit evidence: Task, Src, Dst, SLocal (local
+	// effective speed), SK (the candidate's *realized* speed), SPred
+	// (its *predicted* speed — compare against SK to audit
+	// mispredictions), SGlobal, Threshold.
+	KindPredictMigrate
 )
 
 // String names the kind (the Chrome event name for instant events).
@@ -122,6 +131,8 @@ func (k Kind) String() string {
 		return "noise-end"
 	case KindFreqChange:
 		return "freq-change"
+	case KindPredictMigrate:
+		return "predict-migrate"
 	}
 	return "unknown"
 }
@@ -159,6 +170,10 @@ type Event struct {
 	// evidence: local core speed, candidate core speed, global average,
 	// and T_s (§5.1–§5.2).
 	SLocal, SK, SGlobal, Threshold float64
+	// SPred is the predicted candidate-core speed behind an
+	// anticipatory pull (KindPredictMigrate); SK holds the realized
+	// speed of the same core so mispredictions are auditable.
+	SPred float64
 }
 
 // Tracer is a sink for events. Implementations are used from a single
