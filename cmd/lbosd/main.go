@@ -1,0 +1,107 @@
+// Command lbosd serves the simulator over HTTP: a long-running daemon
+// that accepts experiment specs as JSON, executes them on a bounded
+// worker pool, and answers repeated queries from a content-addressed
+// result cache keyed on (canonical spec, seed, code version) — see
+// docs/api.md for the endpoint reference and DESIGN.md §11 for the
+// design.
+//
+// Usage:
+//
+//	lbosd [-addr HOST:PORT] [-workers N] [-queue N] [-cache-mb MB] [-q]
+//
+// Flags:
+//
+//	-addr      listen address (default 127.0.0.1:8080)
+//	-workers   concurrent experiment executions (default 2)
+//	-queue     submission queue depth; a full queue sheds new runs
+//	           with 429 + Retry-After (default 16)
+//	-cache-mb  result cache budget in MiB (default 256)
+//	-q         suppress operational logging
+//
+// Quickstart:
+//
+//	lbosd &
+//	curl -X POST -d '{"experiment":"fig1","reps":2,"scale":8}' \
+//	    'http://127.0.0.1:8080/v1/runs?wait=1'
+//
+// On SIGTERM or SIGINT the daemon drains gracefully: it stops accepting
+// connections, finishes queued and running experiments, and exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	workers := flag.Int("workers", 2, "concurrent experiment executions")
+	queue := flag.Int("queue", 16, "submission queue depth (full queue sheds with 429)")
+	cacheMB := flag.Int64("cache-mb", 256, "result cache budget in MiB")
+	quiet := flag.Bool("q", false, "suppress operational logging")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: lbosd [-addr HOST:PORT] [-workers N] [-queue N] [-cache-mb MB] [-q]")
+		os.Exit(2)
+	}
+
+	var log io.Writer
+	if !*quiet {
+		log = os.Stderr
+	}
+	srv := serve.New(serve.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheBytes: *cacheMB << 20,
+		Log:        log,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		// Serve returns ErrServerClosed after Shutdown; anything else is
+		// a fatal listener error and the daemon cannot limp on.
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}()
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "lbosd: version %s listening on http://%s (%d workers, queue %d, cache %d MiB)\n",
+			srv.Version(), ln.Addr(), *workers, *queue, *cacheMB)
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	sig := <-sigs
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "lbosd: %v: draining (finishing queued and running experiments)\n", sig)
+	}
+	// Stop accepting connections and let in-flight handlers finish, then
+	// drain the worker pool. Order matters: handlers blocked on ?wait=1
+	// need the workers alive until their runs complete.
+	if err := httpSrv.Shutdown(context.Background()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	srv.Drain()
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, "lbosd: drained, exiting")
+	}
+}

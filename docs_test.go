@@ -6,7 +6,11 @@ package lbos_test
 //     to an existing file or directory (external http(s) links are not
 //     fetched — the check is offline and deterministic),
 //   - every internal package must carry a package doc comment, so
-//     `go doc repro/internal/<pkg>` always has something to say.
+//     `go doc repro/internal/<pkg>` always has something to say,
+//   - EXPERIMENTS.md's experiment-ID ↔ API-spec table must stay in
+//     lock-step with the registry and the serving codec: every row
+//     round-trips through parse → canonicalize → key, and every
+//     registered experiment has a row.
 
 import (
 	"os"
@@ -14,6 +18,9 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/serve"
 )
 
 // mdLink matches [text](target) links, excluding images' preceding "!"
@@ -81,6 +88,60 @@ func TestMarkdownLinksResolve(t *testing.T) {
 					t.Errorf("%s: broken link %q (resolved %q)", f, m[1], resolved)
 				}
 			}
+		}
+	}
+}
+
+// specMapRow matches a row of EXPERIMENTS.md's "Experiment ID ↔ API
+// spec" table: | `id` | `{...json...}` |
+var specMapRow = regexp.MustCompile("^\\| `([^`]+)` \\| `(\\{[^`]*\\})` \\|")
+
+func TestServingSpecMapping(t *testing.T) {
+	data, err := os.ReadFile("EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		m := specMapRow.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		id, raw := m[1], m[2]
+		if mapped[id] {
+			t.Errorf("EXPERIMENTS.md maps %q twice", id)
+		}
+		mapped[id] = true
+
+		// The documented spec must round-trip through the serving codec
+		// and address the experiment it claims to.
+		spec, err := serve.ParseSpec([]byte(raw))
+		if err != nil {
+			t.Errorf("EXPERIMENTS.md spec for %q does not parse: %v", id, err)
+			continue
+		}
+		canon, err := spec.Canonicalize()
+		if err != nil {
+			t.Errorf("EXPERIMENTS.md spec for %q does not canonicalize: %v", id, err)
+			continue
+		}
+		if canon.Experiment != id {
+			t.Errorf("EXPERIMENTS.md row %q submits experiment %q", id, canon.Experiment)
+		}
+		if _, err := exp.ByID(id); err != nil {
+			t.Errorf("EXPERIMENTS.md maps %q, which is not in the registry: %v", id, err)
+		}
+		if k1, k2 := canon.Key("v"), canon.Key("v"); k1 != k2 || len(k1) != 64 {
+			t.Errorf("spec for %q does not derive a stable SHA-256 key", id)
+		}
+	}
+	if len(mapped) == 0 {
+		t.Fatal("EXPERIMENTS.md has no experiment-ID ↔ API-spec table rows")
+	}
+	// Completeness: every registered experiment is documented.
+	for _, e := range exp.All() {
+		if !mapped[e.ID] {
+			t.Errorf("registered experiment %q is missing from EXPERIMENTS.md's API-spec table", e.ID)
 		}
 	}
 }

@@ -76,6 +76,13 @@ type Context struct {
 	// lookahead windows). Outputs stay bit-identical; see
 	// sim.Config.ShardParallel for the isolation contract.
 	ShardParallel bool
+	// Interrupt, when non-nil, lets an external owner (the lbosd
+	// serving daemon, a request context) abort the grid: once the
+	// channel is closed, workers skip every not-yet-started cell and
+	// Wait panics with ErrInterrupted. Cells already executing run to
+	// completion — interruption never truncates a simulation mid-run,
+	// so the callbacks delivered before the abort are still bit-exact.
+	Interrupt <-chan struct{}
 
 	// logMu serialises Logf writes: cells complete on worker
 	// goroutines, and experiments log from result callbacks while the

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,12 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/trace"
 )
+
+// ErrInterrupted is the error Wait panics with when the run was aborted
+// through Context.Interrupt. Owners that drive the Runner on behalf of
+// an external caller (the serving daemon) recover it and report the run
+// cancelled rather than failed.
+var ErrInterrupted = errors.New("exp: run interrupted")
 
 // Runner fans an experiment's (configuration × repetition) grid out over
 // a worker pool while keeping the output bit-identical to a serial run.
@@ -244,6 +251,15 @@ func (r *Runner) runCell(it *runnerItem) {
 		it.done = true
 		r.mu.Unlock()
 		r.cond.Broadcast()
+	}
+	if c := r.ctx.Interrupt; c != nil && !r.cancelled.Load() {
+		// Non-blocking probe: an external abort cancels every cell that
+		// has not started yet, exactly like an in-grid failure would.
+		select {
+		case <-c:
+			r.Cancel(ErrInterrupted)
+		default:
+		}
 	}
 	if r.cancelled.Load() {
 		it.skipped = true

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -156,6 +157,62 @@ func TestLogfSerialised(t *testing.T) {
 			t.Fatalf("interleaved log line: %q", l)
 		}
 	}
+}
+
+// Context.Interrupt aborts the grid between cells: a channel closed
+// before Wait skips every cell, and Wait surfaces ErrInterrupted.
+func TestRunnerInterruptBeforeStart(t *testing.T) {
+	interrupt := make(chan struct{})
+	close(interrupt)
+	ctx := &Context{Reps: 3, Seed: 1, Parallelism: 2, Interrupt: interrupt}
+	r := NewRunner(ctx)
+	ran := 0
+	r.Repeat(0, runnerOpts(), func(int, RunResult) { ran++ })
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("Wait did not panic on an interrupted grid")
+		}
+		err, ok := p.(error)
+		if !ok || !errors.Is(err, ErrInterrupted) {
+			t.Errorf("Wait panicked with %v, want ErrInterrupted", p)
+		}
+		if ran != 0 {
+			t.Errorf("delivered %d callbacks on a pre-closed interrupt, want 0", ran)
+		}
+	}()
+	r.Wait()
+}
+
+// An interrupt arriving mid-grid cancels only the not-yet-started tail:
+// the delivered prefix is intact and Wait reports ErrInterrupted.
+func TestRunnerInterruptMidGrid(t *testing.T) {
+	interrupt := make(chan struct{})
+	ctx := &Context{Reps: 1, Seed: 1, Parallelism: 1, Interrupt: interrupt}
+	r := NewRunner(ctx)
+	ran := 0
+	r.SubmitFunc("first", func() RunResult { return Run(runnerOpts()) }, func(RunResult) { ran++ })
+	r.SubmitFunc("trigger", func() RunResult {
+		close(interrupt) // abort arrives while this cell is in flight
+		return Run(runnerOpts())
+	}, func(RunResult) { ran++ })
+	r.SubmitFunc("tail", func() RunResult { return Run(runnerOpts()) }, func(RunResult) { ran++ })
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("Wait did not panic on a mid-grid interrupt")
+		}
+		err, ok := p.(error)
+		if !ok || !errors.Is(err, ErrInterrupted) {
+			t.Errorf("Wait panicked with %v, want ErrInterrupted", p)
+		}
+		// The in-flight cell ran to completion; with Parallelism 1 the
+		// first two cells deliver, the tail is skipped.
+		if ran != 2 {
+			t.Errorf("delivered %d callbacks, want 2 (prefix intact, tail skipped)", ran)
+		}
+	}()
+	r.Wait()
 }
 
 // A Runner is reusable after Wait for a second phase.

@@ -18,6 +18,9 @@
 //   - experiment cases (fig2, fig3t, fig5, abl-int): full experiment
 //     runs at pinned seed and scale. Their events_per_sec is the
 //     end-to-end simulator throughput the ROADMAP cares about.
+//   - serve: a warm-cache POST through the lbosd handler stack. It
+//     runs no simulation at all; its ns/op and allocs/op bound the
+//     overhead the serving layer adds to a repeated query.
 //
 // Regression gate: a report compared against a baseline fails when any
 // case's allocs/op grows beyond the tolerance, or its calibrated ns/op
@@ -29,8 +32,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -42,6 +48,7 @@ import (
 	"repro/internal/openload"
 	"repro/internal/perturb"
 	"repro/internal/predict"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/speedbal"
 	"repro/internal/spmd"
@@ -147,6 +154,11 @@ func Suite() []Spec {
 			Name:  "open",
 			Desc:  "open-system arrivals at rho=0.8 under the Linux balancer, tracing off",
 			bench: openBench,
+		},
+		{
+			Name:  "serve",
+			Desc:  "lbosd cache hit: one warm POST /v1/runs?wait=1 through the full handler stack",
+			bench: serveBench,
 		},
 		experimentCase("fig2", "round-robin vs load-balanced placement sweep"),
 		experimentCase("fig3t", "speedup of NAS-like benchmarks under the balancers"),
@@ -290,6 +302,40 @@ func openBench(b *testing.B) int64 {
 	}
 	b.StopTimer()
 	return int64(m.Stats.Events - before)
+}
+
+// serveBench measures the lbosd cache-hit path end to end: the cache
+// is warmed with one real fig1 run, then every op is a full POST
+// /v1/runs?wait=1 through the HTTP handler stack — spec parse,
+// canonicalization, SHA-256 key derivation, cache lookup and response
+// serialisation — that must come back a hit without touching the
+// worker pool. This is the overhead a warm lbosd adds on top of zero
+// simulation work; a regression here means repeated queries stopped
+// being effectively free.
+func serveBench(b *testing.B) int64 {
+	s := serve.New(serve.Config{Workers: 1, QueueDepth: 4, Version: "bench"})
+	defer s.Drain()
+	h := s.Handler()
+	spec := `{"experiment":"fig1","reps":1,"scale":8,"seed":20100109}`
+	post := func() *httptest.ResponseRecorder {
+		req := httptest.NewRequest("POST", "/v1/runs?wait=1", strings.NewReader(spec))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w
+	}
+	if w := post(); w.Code != http.StatusOK {
+		panic(fmt.Sprintf("perfbench: serve warmup failed: %d %s", w.Code, w.Body.String()))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if w := post(); w.Code != http.StatusOK || w.Header().Get("X-Lbos-Cache") != serve.CacheHit {
+			panic(fmt.Sprintf("perfbench: serve op was not a cache hit: %d %q",
+				w.Code, w.Header().Get("X-Lbos-Cache")))
+		}
+	}
+	b.StopTimer()
+	return 0
 }
 
 // fabric1kSetup assembles the datacenter-scale sharded scenario: a

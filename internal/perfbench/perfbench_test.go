@@ -116,7 +116,7 @@ func TestSuiteShape(t *testing.T) {
 			t.Errorf("case %q has no bench function", s.Name)
 		}
 	}
-	for _, name := range []string{"wake", "fig2", "fig3t", "fig5", "abl-int", "fab1k", "open"} {
+	for _, name := range []string{"wake", "fig2", "fig3t", "fig5", "abl-int", "fab1k", "open", "serve"} {
 		if !seen[name] {
 			t.Errorf("suite is missing the %q case", name)
 		}

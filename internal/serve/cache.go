@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Entry is one cached result: the response document plus its optional
+// Chrome trace stream, both immutable once stored.
+type Entry struct {
+	// Body is the JSON result document — the exact bytes a fresh
+	// execution produced and every future hit replays.
+	Body []byte
+	// Trace is the Chrome trace-event JSON (nil when the spec did not
+	// request tracing).
+	Trace []byte
+}
+
+// size is the entry's accounting weight in bytes.
+func (e Entry) size() int64 { return int64(len(e.Body) + len(e.Trace)) }
+
+// Cache is the content-addressed result store: hex SHA-256 keys (see
+// Spec.Key) map to immutable result bytes. Determinism is what makes it
+// correct — a key pins (code version, canonical workload spec), and the
+// run's output bytes are a pure function of that pair — so the cache
+// never needs invalidation, only bounded memory: least-recently-used
+// entries are evicted once the byte budget is exceeded.
+//
+// All methods are safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	curBytes int64
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used
+	hits     int64
+	misses   int64
+	evicted  int64
+}
+
+// cacheItem is the LRU list payload.
+type cacheItem struct {
+	key   string
+	entry Entry
+}
+
+// NewCache builds a cache bounded to maxBytes of stored result bytes
+// (≤ 0 picks a 256 MiB default).
+func NewCache(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = 256 << 20
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Get returns the entry stored under key, marking it recently used.
+func (c *Cache) Get(key string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return Entry{}, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheItem).entry, true
+}
+
+// Put stores an entry under key. A key already present is left intact:
+// content addressing means the stored bytes are already the right ones,
+// and keeping the first copy preserves byte identity even if a racing
+// writer somehow differed.
+func (c *Cache) Put(key string, e Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheItem{key: key, entry: e})
+	c.curBytes += e.size()
+	for c.curBytes > c.maxBytes && c.lru.Len() > 1 {
+		oldest := c.lru.Back()
+		item := oldest.Value.(*cacheItem)
+		c.lru.Remove(oldest)
+		delete(c.entries, item.key)
+		c.curBytes -= item.entry.size()
+		c.evicted++
+	}
+}
+
+// Stats reports the cache's counters and current footprint.
+func (c *Cache) Stats() (hits, misses, evicted int64, entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evicted, c.lru.Len(), c.curBytes
+}

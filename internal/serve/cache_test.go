@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheGetPut(t *testing.T) {
+	c := NewCache(1 << 20)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("k", Entry{Body: []byte("body"), Trace: []byte("trace")})
+	e, ok := c.Get("k")
+	if !ok || string(e.Body) != "body" || string(e.Trace) != "trace" {
+		t.Fatalf("got %+v ok=%v", e, ok)
+	}
+	// First write wins: content addressing means re-puts carry the same
+	// bytes, so the stored copy is never replaced.
+	c.Put("k", Entry{Body: []byte("other")})
+	e, _ = c.Get("k")
+	if string(e.Body) != "body" {
+		t.Error("re-put replaced the stored entry")
+	}
+	hits, misses, _, entries, bytes := c.Stats()
+	if hits != 2 || misses != 1 || entries != 1 || bytes != 9 {
+		t.Errorf("stats hits=%d misses=%d entries=%d bytes=%d", hits, misses, entries, bytes)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Budget for ~4 ten-byte entries.
+	c := NewCache(40)
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("k%d", i), Entry{Body: []byte("0123456789")})
+	}
+	// Touch k0 so k1 is the least recently used.
+	c.Get("k0")
+	c.Put("k4", Entry{Body: []byte("0123456789")})
+	if _, ok := c.Get("k1"); ok {
+		t.Error("LRU entry k1 survived eviction")
+	}
+	for _, k := range []string{"k0", "k2", "k3", "k4"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("entry %s evicted out of LRU order", k)
+		}
+	}
+	_, _, evicted, entries, bytes := c.Stats()
+	if evicted != 1 || entries != 4 || bytes != 40 {
+		t.Errorf("evicted=%d entries=%d bytes=%d", evicted, entries, bytes)
+	}
+}
+
+func TestCacheOversizeEntryStays(t *testing.T) {
+	// An entry larger than the whole budget still serves (the cache
+	// keeps at least one entry); the next insert evicts it.
+	c := NewCache(8)
+	c.Put("big", Entry{Body: make([]byte, 100)})
+	if _, ok := c.Get("big"); !ok {
+		t.Fatal("oversize entry not stored")
+	}
+	c.Put("next", Entry{Body: []byte("x")})
+	if _, ok := c.Get("big"); ok {
+		t.Error("oversize entry survived the next insert")
+	}
+	if _, ok := c.Get("next"); !ok {
+		t.Error("fresh entry evicted instead of the oversize one")
+	}
+}
